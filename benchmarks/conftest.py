@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suites.
+
+Benchmarks default to laptop-friendly scales; set ``FLUXION_BENCH_FULL=1``
+to run the paper's full system sizes (see benchmarks/harness.py).
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import harness  # noqa: E402
+
+FULL = harness.FULL
+
+
+@pytest.fixture(scope="session")
+def loaded_planners():
+    """Planners pre-populated with the §6.2 span workload, keyed by load."""
+    loads = [1_000, 10_000] + ([100_000, 1_000_000] if FULL else [])
+    return {load: harness.build_loaded_planner(load) for load in loads}
+
+
+def pytest_collection_modifyitems(config, items):
+    # Keep a stable, paper-ordered listing: fig6a, fig6b, 6.3, ablations.
+    order = ["lod", "planner", "variation", "sched_overhead", "fom", "ablation"]
+
+    def rank(item):
+        for i, key in enumerate(order):
+            if key in item.nodeid:
+                return i
+        return len(order)
+
+    items.sort(key=rank)

@@ -1,0 +1,73 @@
+"""E5 — Table 1 / Fig 8: rank-to-rank variation per policy (§6.3).
+
+Replays the trace under the three policies and compares the figure-of-merit
+histograms.  The paper's headline: the variation-aware policy yields
+2.8x / 2.3x more fom=0 jobs than HighestID / LowestID and pushes the
+fom>=3 tail to near zero.
+"""
+
+import pytest
+
+import harness
+from repro.usecases import fom_histogram
+
+
+@pytest.fixture(scope="module")
+def fom_results():
+    results = {}
+    for policy in ("high", "low", "variation"):
+        report = harness.variation_run_policy(policy)
+        results[policy] = fom_histogram(
+            [j.allocation for j in report.jobs if j.allocation]
+        )
+    return results
+
+
+def test_table1_variation_dominates_fom0(fom_results):
+    va = fom_results["variation"][0]
+    assert va > 2 * fom_results["high"][0]
+    assert va > 2 * fom_results["low"][0]
+
+
+def test_table1_variation_shrinks_high_fom_tail(fom_results):
+    """fom >= 3 mass collapses under the variation-aware policy."""
+    def tail(hist):
+        return hist[3] + hist[4]
+
+    assert tail(fom_results["variation"]) < tail(fom_results["high"]) / 3
+    assert tail(fom_results["variation"]) < tail(fom_results["low"]) / 3
+
+
+def test_table1_histograms_cover_all_jobs(fom_results):
+    _, _, n_jobs = harness.variation_config()
+    for policy, hist in fom_results.items():
+        assert sum(hist) == n_jobs, policy
+
+
+def test_table1_benchmark_fom_scoring(benchmark, fom_results):
+    """fom computation itself is trivial; timed for completeness."""
+    report = harness.variation_run_policy("variation")
+    allocations = [j.allocation for j in report.jobs if j.allocation]
+    hist = benchmark(fom_histogram, allocations)
+    assert sum(hist) == len(allocations)
+
+
+def test_ablation_window_beats_greedy_class_packing():
+    """Policy-design ablation: the minimum-spread window yields at least as
+    many fom=0 jobs as greedy class packing (which pays a boundary crossing
+    whenever a class cannot hold the whole job)."""
+    window = harness.variation_run_policy("variation")
+    greedy = harness.variation_run_policy("variation-greedy")
+    fom_window = fom_histogram(
+        [j.allocation for j in window.jobs if j.allocation]
+    )
+    fom_greedy = fom_histogram(
+        [j.allocation for j in greedy.jobs if j.allocation]
+    )
+    assert fom_window[0] >= fom_greedy[0], (fom_window, fom_greedy)
+    # Both variation variants still dominate the ID policies.
+    high = fom_histogram(
+        [j.allocation for j in harness.variation_run_policy("high").jobs
+         if j.allocation]
+    )
+    assert fom_greedy[0] > high[0]

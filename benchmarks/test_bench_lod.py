@@ -1,0 +1,50 @@
+"""E1 — Fig 6a: match performance across levels of detail x pruning (§6.1).
+
+Each benchmark fully allocates a scaled-down version of the paper's
+1008-node system with the §6.1 jobspec (10 cores + 8GB memory + 1 burst
+buffer per node) and reports the time for the whole fill; the harness's
+``fig6a`` prints the paper-shaped per-match table.
+
+Expected shape: coarser LOD is faster; pruning helps at every LOD.
+"""
+
+import pytest
+
+import harness
+
+RACKS, NODES_PER_RACK = (14, 18) if harness.FULL else (6, 6)
+
+
+@pytest.mark.parametrize("prune", [False, True], ids=["noprune", "prune"])
+@pytest.mark.parametrize("lod", ["high", "med", "low", "low2"])
+def test_fig6a_fill_system(benchmark, lod, prune):
+    result = benchmark.pedantic(
+        harness.fig6a_run_one,
+        args=(lod, prune, RACKS, NODES_PER_RACK),
+        rounds=1,
+        iterations=1,
+    )
+    # Every configuration must fill the same capacity: jobs = nodes * 4
+    # (40 cores per node / 10 cores per job).
+    assert result["jobs"] == RACKS * NODES_PER_RACK * 4
+    benchmark.extra_info.update(
+        mean_ms=round(result["mean_ms"], 3), visits=result["visits"]
+    )
+
+
+def test_fig6a_pruning_always_wins():
+    """Pruning reduces graph visits at every LOD (the §3.4 claim)."""
+    for lod in ("high", "med", "low", "low2"):
+        unpruned = harness.fig6a_run_one(lod, False, 4, 4)
+        pruned = harness.fig6a_run_one(lod, True, 4, 4)
+        assert pruned["visits"] < unpruned["visits"], lod
+        assert pruned["jobs"] == unpruned["jobs"], lod
+
+
+def test_fig6a_coarsening_reduces_visits():
+    """Coarser models visit fewer vertices for the same workload (§3.3)."""
+    visits = {
+        lod: harness.fig6a_run_one(lod, True, 4, 4)["visits"]
+        for lod in ("high", "med", "low")
+    }
+    assert visits["high"] > visits["low"]

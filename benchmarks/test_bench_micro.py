@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the supporting paths: graph construction, jobspec
+parsing, JGF round-trips, SDFU booking.
+
+Not paper artifacts, but the costs a resource manager pays around every
+match; tracked so regressions show up next to the headline benches.
+"""
+
+import json
+
+import pytest
+
+from repro.grug import build_lod, tiny_cluster
+from repro.jobspec import parse_jobspec, simple_node_jobspec
+from repro.match import Traverser
+from repro.resource import from_jgf, to_jgf
+
+JOBSPEC_YAML = """
+version: 1
+resources:
+  - type: node
+    count: 2
+    with:
+      - type: slot
+        count: 1
+        with:
+          - {type: socket, count: 2, with: [
+                {type: core, count: 10},
+                {type: gpu, count: 1},
+                {type: memory, count: 16, unit: GB}]}
+attributes:
+  system: {duration: 3600}
+"""
+
+
+def test_bench_build_med_lod_graph(benchmark):
+    graph = benchmark(build_lod, "med", 4, 9)
+    assert graph.vertex_count > 2000
+
+
+def test_bench_parse_jobspec(benchmark):
+    js = benchmark(parse_jobspec, JOBSPEC_YAML)
+    assert js.totals()["core"] == 40
+
+
+def test_bench_jobspec_roundtrip(benchmark):
+    js = parse_jobspec(JOBSPEC_YAML)
+
+    def roundtrip():
+        return parse_jobspec(js.to_dict())
+
+    assert benchmark(roundtrip).summary() == js.summary()
+
+
+def test_bench_jgf_encode(benchmark):
+    graph = tiny_cluster(racks=4, nodes_per_rack=4)
+    doc = benchmark(lambda: json.dumps(to_jgf(graph)))
+    assert len(doc) > 1000
+
+
+def test_bench_jgf_decode(benchmark):
+    graph = tiny_cluster(racks=4, nodes_per_rack=4)
+    text = json.dumps(to_jgf(graph))
+    rebuilt = benchmark(from_jgf, text)
+    assert rebuilt.vertex_count == graph.vertex_count
+
+
+def test_bench_single_match_allocate_free(benchmark):
+    """One allocate+remove cycle on a warm medium graph (SDFU included)."""
+    graph = tiny_cluster(racks=4, nodes_per_rack=8, cores=8)
+    traverser = Traverser(graph, policy="low")
+    jobspec = simple_node_jobspec(cores=4, memory=8, duration=100)
+
+    def cycle():
+        alloc = traverser.allocate(jobspec, at=0)
+        traverser.remove(alloc.alloc_id)
+
+    benchmark(cycle)
+    assert not traverser.allocations

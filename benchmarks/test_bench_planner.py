@@ -1,0 +1,69 @@
+"""E2 — Fig 6b: Planner query performance vs pre-populated spans (§6.2).
+
+SatAt / SatDuring / EarliestAt on a 128-unit planner loaded with 10^3..10^5
+(10^6 with FLUXION_BENCH_FULL=1) conservative-backfill spans.  The paper's
+claim: all three query families are logarithmic in the number of spans.
+"""
+
+import numpy as np
+import pytest
+
+import harness
+
+LOADS = [1_000, 10_000] + ([100_000, 1_000_000] if harness.FULL else [])
+REQUESTS = [2**k for k in range(8)]  # 1..128, powers of two as in §6.2
+
+
+def _probe_times(planner, seed=3, n=64):
+    rng = np.random.default_rng(seed)
+    times = rng.integers(0, 2**40, size=n)
+    durations = rng.integers(1, 43_200, size=n)
+    return times, durations
+
+
+@pytest.mark.parametrize("load", LOADS)
+def test_fig6b_sat_at(benchmark, loaded_planners, load):
+    planner = loaded_planners[load]
+    times, _ = _probe_times(planner)
+
+    def run():
+        for i, request in enumerate(REQUESTS):
+            planner.avail_at(int(times[i]), request)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("load", LOADS)
+def test_fig6b_sat_during(benchmark, loaded_planners, load):
+    planner = loaded_planners[load]
+    times, durations = _probe_times(planner)
+
+    def run():
+        for i, request in enumerate(REQUESTS):
+            planner.avail_during(int(times[i]), int(durations[i]), request)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("load", LOADS)
+def test_fig6b_earliest_at(benchmark, loaded_planners, load):
+    planner = loaded_planners[load]
+
+    def run():
+        for request in REQUESTS:
+            planner.avail_time_first(request, 1, 0)
+
+    benchmark(run)
+
+
+def test_fig6b_queries_scale_sublinearly(loaded_planners):
+    """10x more spans must cost far less than 10x more query time.
+
+    This is the logarithmic-scaling claim of §6.2 stated as an invariant
+    (allowing generous noise margins for CI machines).
+    """
+    small, big = loaded_planners[1_000], loaded_planners[10_000]
+    small_row = harness.fig6b_run_one(small)
+    big_row = harness.fig6b_run_one(big)
+    for key in ("SatAt_us", "SatDuring_us", "EarliestAt_us"):
+        assert big_row[key] < small_row[key] * 5, (key, small_row, big_row)

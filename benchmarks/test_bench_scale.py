@@ -1,0 +1,35 @@
+"""Scalability sweep (ours): match latency vs system size.
+
+Mean per-match time while filling Med-LOD systems of growing size with the
+§6.1 jobspec (core pruning on).  Expected shape: sublinear growth in system
+size — the pruning filters keep per-match work near the size of one feasible
+subtree rather than the whole graph.
+"""
+
+import pytest
+
+import harness
+
+SIZES = [(4, 16), (8, 16), (16, 16)]
+
+
+@pytest.mark.parametrize(
+    "racks,nodes_per_rack", SIZES, ids=[f"{r * n}nodes" for r, n in SIZES]
+)
+def test_bench_scale_fill(benchmark, racks, nodes_per_rack):
+    result = benchmark.pedantic(
+        harness.fig6a_run_one,
+        args=("med", True, racks, nodes_per_rack),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        nodes=racks * nodes_per_rack, mean_ms=round(result["mean_ms"], 3)
+    )
+
+
+def test_scale_growth_is_sublinear():
+    """4x more nodes must cost well under 4x per-match time."""
+    small = harness.fig6a_run_one("med", True, 4, 16)
+    large = harness.fig6a_run_one("med", True, 16, 16)
+    assert large["mean_ms"] < small["mean_ms"] * 4

@@ -1,0 +1,59 @@
+"""E4 — Fig 7b: scheduling overhead of 200 jobs under three policies (§6.3).
+
+Replays the synthetic quartz trace with conservative backfilling under the
+HighestID, LowestID and variation-aware policies, timing the scheduler.
+
+Expected shape (paper §6.3): all three policies land in the same ballpark;
+a minority of jobs start immediately and the rest get future reservations;
+the early jobs on the empty cluster are the slowest to match.
+"""
+
+import statistics
+
+import pytest
+
+import harness
+
+
+@pytest.mark.parametrize("policy", ["high", "low", "variation"])
+def test_fig7b_schedule_trace(benchmark, policy):
+    report = benchmark.pedantic(
+        harness.variation_run_policy, args=(policy,), rounds=1, iterations=1
+    )
+    placed = [j for j in report.jobs if j.allocation is not None]
+    assert len(placed) == len(report.jobs)  # every job allocated or reserved
+    benchmark.extra_info.update(
+        total_sched_s=round(sum(j.sched_time for j in report.jobs), 3),
+        immediate=report.immediate_starts(),
+    )
+
+
+def test_fig7b_policies_comparable_and_mixed_start():
+    results = {
+        policy: harness.variation_run_policy(policy)
+        for policy in ("high", "low", "variation")
+    }
+    totals = {
+        policy: sum(j.sched_time for j in report.jobs)
+        for policy, report in results.items()
+    }
+    # "All three policies exhibited similar scheduling times": within 4x.
+    assert max(totals.values()) < 4 * min(totals.values()), totals
+    for policy, report in results.items():
+        immediate = report.immediate_starts()
+        reserved = sum(1 for j in report.jobs if j.wait_time and j.wait_time > 0)
+        # Some start immediately, the rest are reserved into the future.
+        assert 0 < immediate < len(report.jobs), policy
+        assert reserved > 0, policy
+
+
+def test_fig7b_per_job_times_stay_bounded():
+    """Per-job scheduling time has a heavy head/outlier structure (the
+    paper's 'first jobs cost more' effect) but no runaway tail: every match
+    stays within two orders of magnitude of the median."""
+    report = harness.variation_run_policy("low")
+    times = sorted(j.sched_time for j in report.jobs)
+    median = times[len(times) // 2]
+    assert times[-1] < median * 150, (median, times[-1])
+    # The expensive matches are rare: the p90 stays within ~10x the median.
+    assert times[int(len(times) * 0.9)] < median * 12

@@ -1,0 +1,42 @@
+"""E3 — Fig 7a: performance-class dataset generation and Eq. 1 binning (§6.3).
+
+Benchmarks the synthetic-variation pipeline and asserts the histogram shape
+the paper's figure shows: class sizes follow the Eq. 1 decile boundaries
+(10 / 15 / 15 / 20 / 40 percent of the cluster).
+"""
+
+import pytest
+
+import harness
+from repro.usecases import (
+    class_histogram,
+    performance_classes,
+    synthetic_node_scores,
+)
+
+N_NODES = 2418  # the paper's 39 full racks x 62 nodes
+
+
+def test_fig7a_binning(benchmark):
+    scores = synthetic_node_scores(N_NODES, seed=2023)
+    hist = benchmark(lambda: class_histogram(performance_classes(scores)))
+    assert sum(hist) == N_NODES
+
+
+def test_fig7a_histogram_shape():
+    hist = harness.fig7a(out=open("/dev/null", "w"))
+    total = sum(hist)
+    shares = [count / total for count in hist]
+    expected = [0.10, 0.15, 0.15, 0.20, 0.40]
+    for got, want in zip(shares, expected):
+        assert got == pytest.approx(want, abs=0.01)
+
+
+def test_fig7a_spreads_match_paper():
+    scores = synthetic_node_scores(N_NODES, seed=2023)
+    assert scores.mg.max() / scores.mg.min() == pytest.approx(2.47, rel=1e-6)
+    assert scores.lulesh.max() / scores.lulesh.min() == pytest.approx(1.91, rel=1e-6)
+
+
+def test_fig7a_generation_speed(benchmark):
+    benchmark(synthetic_node_scores, N_NODES, 2023)

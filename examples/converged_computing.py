@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Converged computing: Fluxion as a container-orchestrator plugin
+(paper §5.3, the Fluence architecture).
+
+A mini Kubernetes-style orchestrator runs the same MPI pod group under two
+schedulers:
+
+* the built-in filter/score scheduler — pods placed one at a time, partial
+  gangs strand resources (the failure mode that stalls MPI jobs);
+* the Fluxion plugin — the pod group is one jobspec, matched all-or-nothing
+  with a locality-aware policy.
+
+Run:  python examples/converged_computing.py
+"""
+
+from repro.usecases import (
+    DefaultScheduler,
+    FluxionPlugin,
+    MiniOrchestrator,
+    PodSpec,
+)
+
+
+def mpi_gang(n: int, cpus: int = 4) -> list:
+    return [PodSpec(f"mpi-rank-{i}", cpus=cpus, memory_gb=4) for i in range(n)]
+
+
+def main() -> None:
+    print("=== default (filter/score) scheduler ===")
+    orchestrator = MiniOrchestrator(nodes=4, cpus_per_node=8,
+                                    memory_gb_per_node=32)
+    # An 12-rank MPI job needs 6 nodes' worth of CPU; only 4 exist.
+    placement = orchestrator.deploy(mpi_gang(12, cpus=4))
+    placed = len(placement.bindings) if placement else 0
+    print(f"gang of 12 ranks: placed {placed}/12 pods "
+          "(partial gang: the MPI job cannot start, yet its pods hold CPU)")
+    blocked = orchestrator.deploy(mpi_gang(4, cpus=4))
+    blocked_n = len(blocked.bindings) if blocked else 0
+    print(f"a 4-rank job that WOULD fit alone now places {blocked_n}/4 pods "
+          "-> resource deadlock risk")
+
+    print("\n=== Fluxion plugin (Fluence-style) ===")
+    orchestrator2 = MiniOrchestrator(nodes=4, cpus_per_node=8,
+                                     memory_gb_per_node=32)
+    plugin = FluxionPlugin(orchestrator2, policy="locality")
+    orchestrator2.scheduler = plugin
+    gang12 = orchestrator2.deploy(mpi_gang(12, cpus=4))
+    print(f"gang of 12 ranks: {'placed' if gang12 else 'rejected atomically'} "
+          "(all-or-nothing, no stranded pods)")
+    gang4 = orchestrator2.deploy(mpi_gang(4, cpus=4))
+    print(f"gang of 4 ranks: placed on nodes {gang4.nodes()} "
+          "(2 ranks per node, locality-packed)")
+    gang4b = orchestrator2.deploy(mpi_gang(4, cpus=4))
+    print(f"second gang of 4 ranks: placed on nodes {gang4b.nodes()}")
+    assert orchestrator2.deploy(mpi_gang(1, cpus=8)) is None
+    print("cluster full; next gang rejected cleanly")
+
+    orchestrator2.teardown(gang4)
+    print(f"after teardown of the first gang, free cpus: "
+          f"{ {n: f['cpu'] for n, f in orchestrator2.free.items()} }")
+    gang2 = orchestrator2.deploy(mpi_gang(2, cpus=8))
+    print(f"a 2x8-cpu gang immediately reuses the freed nodes: "
+          f"{gang2.nodes()}")
+
+    print("\nSeparation of concerns (§3.5): the orchestrator code is "
+          "identical in both runs —\nonly the scheduler plugin changed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Hierarchical scheduling and elasticity (paper §5.5 / §5.6).
+
+Part 1 — hierarchy: a root instance grants halves of the machine to two
+child instances (a batch partition and a high-throughput partition), each
+with its own match policy; a grandchild shows arbitrary depth; shutting a
+child down returns the grant.
+
+Part 2 — elasticity: the system grows a new rack mid-operation, a job grows
+and shrinks its own allocation (malleability), and a drained node is removed
+without disturbing running work.
+
+Run:  python examples/hierarchical_elastic.py
+"""
+
+from repro import Instance, Traverser, nodes_jobspec, simple_node_jobspec, tiny_cluster
+from repro.sched import Job
+from repro.sched.elastic import grow, grow_job, shrink_job, shrink_subtree
+
+
+def hierarchy_demo() -> None:
+    print("=== fully hierarchical scheduling (§5.6) ===")
+    graph = tiny_cluster(racks=4, nodes_per_rack=4, cores=8)
+    root = Instance(graph, match_policy="low", name="root")
+    print(f"root instance: {len(graph.find(type='node'))} nodes")
+
+    batch = root.spawn_child(
+        nodes_jobspec(8, duration=2**30), match_policy="locality", name="batch"
+    )
+    htc = root.spawn_child(
+        nodes_jobspec(8, duration=2**30), match_policy="first", name="htc"
+    )
+    print(f"granted: batch={len(batch.graph.find(type='node'))} nodes "
+          f"(locality policy), htc={len(htc.graph.find(type='node'))} nodes "
+          f"(first-fit policy)")
+
+    # Arbitrary depth: batch re-grants two of its nodes to a grandchild.
+    deep = batch.spawn_child(nodes_jobspec(2, duration=2**30), name="batch/sub")
+    print(f"grandchild '{deep.name}' at depth {deep.depth} with "
+          f"{len(deep.graph.find(type='node'))} nodes")
+    print("instance tree:", [i.name for i in root.walk()])
+
+    # Children schedule independently and in parallel conceptually.
+    batch_jobs = [batch.allocate(nodes_jobspec(2, duration=600), at=0)
+                  for _ in range(3)]
+    htc_jobs = [htc.allocate(simple_node_jobspec(cores=1, duration=60), at=0)
+                for _ in range(64)]
+    print(f"batch placed {sum(a is not None for a in batch_jobs)}/3 "
+          f"2-node jobs; htc placed "
+          f"{sum(a is not None for a in htc_jobs)}/64 single-core jobs")
+
+    # Parent has nothing left: every node is granted out.
+    assert root.allocate(nodes_jobspec(1, duration=10), at=0) is None
+    print("root correctly reports zero free nodes while grants are live")
+
+    root.shutdown_child(batch)
+    root.shutdown_child(htc)
+    free_again = root.allocate(nodes_jobspec(16, duration=10), at=0)
+    print(f"after shutdown, root can allocate all 16 nodes again: "
+          f"{free_again is not None}\n")
+
+
+def elasticity_demo() -> None:
+    print("=== elasticity (§5.5) ===")
+    graph = tiny_cluster(racks=2, nodes_per_rack=2, cores=4)
+    traverser = Traverser(graph, policy="low")
+    print(f"initial nodes: {len(graph.find(type='node'))}")
+
+    # A malleable job starts on one node.
+    job = Job(1, nodes_jobspec(1, duration=10_000))
+    job.allocations.append(traverser.allocate(job.jobspec, at=0))
+    print(f"malleable job running on {job.allocation.nodes()[0].name}")
+
+    # System grows: a new rack with two nodes arrives.
+    created = grow(graph, graph.root, {
+        "type": "rack",
+        "with": [{"type": "node", "count": 2,
+                  "with": [{"type": "core", "count": 4}]}],
+    })
+    print(f"system grew by {len(created)} vertices; nodes now "
+          f"{len(graph.find(type='node'))}")
+
+    # The job grows onto the new capacity, then shrinks back.
+    extra = grow_job(traverser, job, nodes_jobspec(2, duration=10_000), now=0)
+    print(f"job grew to {1 + len(extra.nodes())} nodes "
+          f"({[v.name for a in job.allocations for v in a.nodes()]})")
+    shrink_job(traverser, job, extra)
+    print(f"job shrank back to {[v.name for v in job.allocation.nodes()]}")
+
+    # Drain and remove an idle node while the job keeps running.
+    idle = [v for v in graph.find(type="node")
+            if v.xplans.span_count == 0][-1]
+    removed = shrink_subtree(graph, idle)
+    print(f"drained node removed ({removed} vertices); job unaffected: "
+          f"{job.allocation.alloc_id in traverser.allocations}")
+
+    traverser.remove_all()
+    print("done")
+
+
+if __name__ == "__main__":
+    hierarchy_demo()
+    elasticity_demo()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Near-node-flash (rabbit) storage scheduling on an El Capitan-style system
+(paper §5.1).
+
+Demonstrates every scheduling shape the paper calls out as hard for
+traditional resource managers:
+
+1. node-local storage co-located with the chosen compute nodes' chassis;
+2. a global Lustre file system — at most one per rabbit (unique IP);
+3. storage-only allocations kept alive across multiple compute jobs;
+4. the NVMe-namespace limit bounding file systems per rabbit.
+
+Run:  python examples/rabbit_storage.py
+"""
+
+from repro import rabbit_system
+from repro.usecases import RabbitScheduler
+
+
+def main() -> None:
+    graph = rabbit_system(
+        chassis=4, nodes_per_chassis=4, cores_per_node=8,
+        ssds_per_rabbit=4, ssd_size=1000, namespaces_per_ssd=2,
+    )
+    rabbits = graph.find(type="rabbit")
+    print(f"system: {len(graph.find(type='rack'))} chassis, "
+          f"{len(graph.find(type='node'))} nodes, {len(rabbits)} rabbits")
+    for rabbit in rabbits[:1]:
+        parents = [p.name for p in graph.parents(rabbit)]
+        print(f"  {rabbit.name}: reachable from {parents} "
+              "(rack-level AND cluster-level resource)")
+
+    scheduler = RabbitScheduler(graph, policy="low")
+
+    # 1. Node-local storage: compute + storage from the same chassis's rabbit.
+    job = scheduler.allocate_node_local(
+        chassis=2, nodes_per_chassis=2, cores_per_node=8,
+        local_gb_per_chassis=1500, duration=3600,
+    )
+    print("\n[node-local] compute nodes:",
+          [v.name for v in job.nodes()])
+    for sel in job.resources():
+        if sel.type == "ssd":
+            rabbit = graph.parents(sel.vertex)[0]
+            print(f"[node-local] {sel.amount} GB from {sel.vertex.name} "
+                  f"on {rabbit.name}")
+
+    # 2. Global Lustre file systems: the ip vertex caps one per rabbit.
+    print()
+    created = []
+    while True:
+        fs = scheduler.allocate_global_fs(gb=800, duration=3600)
+        if fs is None:
+            break
+        ip = [s.vertex for s in fs.resources() if s.type == "ip"][0]
+        created.append(fs)
+        print(f"[global] Lustre fs #{len(created)} on "
+              f"{graph.parents(ip)[0].name}")
+    print(f"[global] no further Lustre fs possible: every rabbit already "
+          f"hosts one server ({len(created)}/{len(rabbits)})")
+
+    # 3. Storage-only allocation outliving compute jobs.
+    persistent = scheduler.allocate_storage_only(gb=500, duration=100_000)
+    print(f"\n[storage-only] persistent fs: {persistent.summary()} "
+          f"(no compute: nodes={persistent.nodes()})")
+    for i in range(3):
+        compute = scheduler.allocate_node_local(duration=600)
+        scheduler.free(compute)
+    print("[storage-only] three compute jobs came and went; "
+          f"fs still held: {persistent.alloc_id in scheduler.traverser.allocations}")
+
+    # 4. Namespace exhaustion: each fs consumes an NVMe namespace.
+    count = 0
+    held = []
+    while True:
+        fs = scheduler.allocate_storage_only(gb=1, duration=1000)
+        if fs is None:
+            break
+        held.append(fs)
+        count += 1
+    print(f"\n[namespaces] created {count} more tiny file systems before the "
+          "per-rabbit NVMe namespace pools ran dry")
+
+    for fs in created + held + [persistent]:
+        scheduler.free(fs)
+    scheduler.traverser.remove_all()
+    print("\nall storage released")
+
+
+if __name__ == "__main__":
+    main()

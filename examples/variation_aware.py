@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Variation-aware scheduling on a quartz-like cluster (paper §5.2 / §6.3).
+
+Generates a synthetic node-variation dataset calibrated to the paper's
+measured spreads (2.47x NAS MG, 1.91x LULESH), bins nodes into five
+performance classes (Eq. 1), replays a 200-job trace under three match
+policies — highest-id, lowest-id, and variation-aware — and reports each
+job's figure of merit (Eq. 2).  The variation-aware policy should
+concentrate jobs at fom=0 (all ranks in one class), the paper's Table 1.
+
+Run:  python examples/variation_aware.py [--jobs 200] [--racks 10]
+"""
+
+import argparse
+
+from repro import ClusterSimulator, quartz
+from repro.usecases import (
+    assign_perf_classes,
+    class_histogram,
+    fom_histogram,
+    performance_classes,
+    synthetic_node_scores,
+)
+from repro.workloads import synthetic_trace
+
+
+def run_policy(policy: str, trace, racks: int, nodes_per_rack: int,
+               classes) -> tuple:
+    graph = quartz(racks=racks, nodes_per_rack=nodes_per_rack)
+    assign_perf_classes(graph, classes)
+    sim = ClusterSimulator(graph, match_policy=policy, queue="conservative")
+    for job in trace:
+        sim.submit(job.to_jobspec(), at=0)
+    # Stop after planning: the fom is decided at allocation time.
+    report = sim.run(until=0)
+    allocations = [j.allocation for j in report.jobs if j.allocation]
+    hist = fom_histogram(allocations)
+    total_sched = sum(j.sched_time for j in report.jobs)
+    return hist, total_sched, report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jobs", type=int, default=200)
+    parser.add_argument("--racks", type=int, default=10)
+    parser.add_argument("--nodes-per-rack", type=int, default=62)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    n_nodes = args.racks * args.nodes_per_rack
+    scores = synthetic_node_scores(n_nodes, seed=2023)
+    classes = performance_classes(scores)
+    print(f"nodes: {n_nodes}; class histogram (Fig 7a shape): "
+          f"{class_histogram(classes)}")
+    print(f"MG spread {scores.mg.max() / scores.mg.min():.2f}x, "
+          f"LULESH spread {scores.lulesh.max() / scores.lulesh.min():.2f}x")
+
+    trace = synthetic_trace(args.jobs, seed=args.seed, max_nodes=n_nodes // 3)
+    print(f"trace: {len(trace)} jobs, node counts "
+          f"{min(j.nnodes for j in trace)}..{max(j.nnodes for j in trace)}")
+
+    print(f"\n{'policy':>16} | {'fom=0':>6} {'fom=1':>6} {'fom=2':>6} "
+          f"{'fom=3':>6} {'fom=4':>6} | sched time")
+    print("-" * 78)
+    results = {}
+    for policy in ("high", "low", "variation"):
+        hist, sched_time, report = run_policy(
+            policy, trace, args.racks, args.nodes_per_rack, classes
+        )
+        results[policy] = hist
+        label = {"high": "HighestID", "low": "LowestID",
+                 "variation": "Variation-aware"}[policy]
+        print(f"{label:>16} | " + " ".join(f"{h:6d}" for h in hist) +
+              f" | {sched_time:.2f}s")
+
+    improvement_high = results["variation"][0] / max(results["high"][0], 1)
+    improvement_low = results["variation"][0] / max(results["low"][0], 1)
+    print(f"\nvariation-aware vs HighestID: {improvement_high:.1f}x more "
+          f"fom=0 jobs (paper: 2.8x)")
+    print(f"variation-aware vs LowestID:  {improvement_low:.1f}x more "
+          f"fom=0 jobs (paper: 2.3x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""repro: a pure-Python reproduction of Fluxion, the scalable graph-based
+resource model for HPC scheduling (Patki et al., SC-W 2023).
+
+Quick tour::
+
+    from repro import tiny_cluster, Traverser, simple_node_jobspec
+
+    graph = tiny_cluster()                       # resource graph store (§3.1)
+    traverser = Traverser(graph, policy="low")   # DFU traverser (§3.2)
+    alloc = traverser.allocate(simple_node_jobspec(cores=4), at=0)
+    print(alloc.summary())
+
+Subpackages
+-----------
+``repro.planner``
+    Span-based resource/time tracking: Planner, PlannerMulti, RB trees (§4.1).
+``repro.resource``
+    The graph store: pool vertices, typed subsystem edges, filtering (§3.1).
+``repro.grug``
+    System generation: recipes, LOD presets, rabbit/disaggregated models (§6.1).
+``repro.jobspec``
+    The canonical jobspec DSL — abstract resource request graphs (§4.2).
+``repro.match``
+    The traverser, match policies, pruning filters and SDFU (§3.2-§3.4).
+``repro.sched``
+    Queueing/backfilling, an event simulator, elasticity, hierarchy (§5.5-§5.6).
+``repro.baselines``
+    Node-centric scheduler and naive list planner for comparison (§2).
+``repro.usecases``
+    Rabbit storage, variation-aware scheduling, converged computing (§5).
+``repro.workloads``
+    Synthetic traces and Planner span workloads (§6.2-§6.3).
+``repro.analysis``
+    Schedule analysis: utilization timelines, slowdowns, Gantt, CSV export.
+``repro.cli``
+    The resource-query command-line utility (§6.1).
+"""
+
+from .errors import (
+    AllocationNotFoundError,
+    FluxionError,
+    JobError,
+    JobspecError,
+    MatchError,
+    PlannerError,
+    RecipeError,
+    ResourceGraphError,
+    SchedulerError,
+    SpanNotFoundError,
+    SubsystemError,
+)
+from .grug import (
+    build_from_recipe,
+    build_lod,
+    disaggregated_system,
+    quartz,
+    rabbit_system,
+    tiny_cluster,
+)
+from .jobspec import (
+    Jobspec,
+    ResourceRequest,
+    nodes_jobspec,
+    parse_jobspec,
+    pool_jobspec,
+    rack_spread_jobspec,
+    simple_node_jobspec,
+)
+from .match import Allocation, MatchPolicy, Traverser, make_policy
+from .planner import Planner, PlannerMulti, Span
+from .resource import ResourceGraph, ResourceVertex
+from .sched import (
+    CapacitySchedule,
+    ClusterSimulator,
+    Instance,
+    Job,
+    JobState,
+    Workflow,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "AllocationNotFoundError",
+    "CapacitySchedule",
+    "ClusterSimulator",
+    "FluxionError",
+    "Instance",
+    "Job",
+    "JobError",
+    "JobState",
+    "Jobspec",
+    "JobspecError",
+    "MatchError",
+    "MatchPolicy",
+    "Planner",
+    "PlannerError",
+    "PlannerMulti",
+    "RecipeError",
+    "ResourceGraph",
+    "ResourceGraphError",
+    "ResourceRequest",
+    "ResourceVertex",
+    "SchedulerError",
+    "Span",
+    "SpanNotFoundError",
+    "SubsystemError",
+    "Traverser",
+    "Workflow",
+    "build_from_recipe",
+    "build_lod",
+    "disaggregated_system",
+    "make_policy",
+    "nodes_jobspec",
+    "parse_jobspec",
+    "pool_jobspec",
+    "quartz",
+    "rabbit_system",
+    "rack_spread_jobspec",
+    "simple_node_jobspec",
+    "tiny_cluster",
+]

@@ -1,0 +1,19 @@
+"""Schedule analysis utilities: utilization, slowdowns, Gantt rendering."""
+
+from .export import event_log_to_csv, report_to_csv, rows_to_csv
+from .metrics import (
+    ascii_gantt,
+    average_utilization,
+    bounded_slowdowns,
+    utilization_timeline,
+)
+
+__all__ = [
+    "ascii_gantt",
+    "event_log_to_csv",
+    "report_to_csv",
+    "rows_to_csv",
+    "average_utilization",
+    "bounded_slowdowns",
+    "utilization_timeline",
+]

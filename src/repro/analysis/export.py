@@ -1,0 +1,69 @@
+"""CSV export of simulation results and benchmark rows.
+
+The benchmark harness regenerates the paper's tables as text; these helpers
+write the same data as CSV so downstream plotting (outside this offline
+environment) can redraw the figures.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable, List, Mapping, Sequence
+
+from ..sched import SimulationReport
+
+__all__ = ["report_to_csv", "rows_to_csv", "event_log_to_csv"]
+
+
+def report_to_csv(report: SimulationReport, path: str) -> int:
+    """Write one row per job (id, name, priority, state, times); returns the
+    row count."""
+    fields = [
+        "job_id", "name", "priority", "state", "submit_time",
+        "start_time", "end_time", "wait_time", "sched_time_s", "nnodes",
+    ]
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fields)
+        writer.writeheader()
+        for job in report.jobs:
+            writer.writerow(
+                {
+                    "job_id": job.job_id,
+                    "name": job.name,
+                    "priority": job.priority,
+                    "state": job.state.value,
+                    "submit_time": job.submit_time,
+                    "start_time": job.start_time,
+                    "end_time": job.end_time,
+                    "wait_time": job.wait_time,
+                    "sched_time_s": round(job.sched_time, 6),
+                    "nnodes": len(job.allocation.nodes())
+                    if job.allocation else 0,
+                }
+            )
+    return len(report.jobs)
+
+
+def rows_to_csv(rows: Sequence[Mapping], path: str) -> int:
+    """Write a list of uniform dict rows (e.g. harness output) as CSV."""
+    if not rows:
+        raise ValueError("no rows to write")
+    fields = list(rows[0].keys())
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fields, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+def event_log_to_csv(event_log: Iterable[tuple], path: str) -> int:
+    """Write a simulator event log ((time, event, job_id) tuples) as CSV."""
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", "event", "job_id"])
+        for time, event, job_id in event_log:
+            writer.writerow([time, event, job_id])
+            count += 1
+    return count

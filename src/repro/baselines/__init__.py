@@ -1,0 +1,6 @@
+"""Baseline comparators: node-centric scheduler and naive list planner (§2)."""
+
+from .listplanner import ListPlanner
+from .nodecentric import NodeCentricAllocation, NodeCentricScheduler
+
+__all__ = ["ListPlanner", "NodeCentricAllocation", "NodeCentricScheduler"]

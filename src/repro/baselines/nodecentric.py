@@ -1,0 +1,185 @@
+"""Node-centric baseline scheduler (paper §2).
+
+The resource models in traditional HPC schedulers are "node-centric or
+core-centric ... bitmap-based or linked-list based": a flat array of nodes,
+each with a core count, and no notion of resource relationships, containment
+hierarchies or subsystems.  This baseline reproduces that design so the
+examples and benches can contrast it with the graph model:
+
+* it schedules jobs of the form *(nnodes, cores_per_node, duration)* — the
+  only shape the flat model expresses;
+* requests involving relationships (rack spread, storage-with-IP, power
+  subsystems) are structurally inexpressible, which
+  :meth:`NodeCentricScheduler.can_express` makes explicit;
+* per-node busy intervals give it conservative-backfill semantics comparable
+  to the graph scheduler on whole-node workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SchedulerError
+from ..jobspec import Jobspec
+
+__all__ = ["NodeCentricScheduler", "NodeCentricAllocation"]
+
+
+@dataclass
+class NodeCentricAllocation:
+    """A baseline allocation: node ids with per-node core counts."""
+
+    alloc_id: int
+    at: int
+    duration: int
+    node_ids: List[int]
+    cores_per_node: int
+    reserved: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.at + self.duration
+
+
+class _NodeState:
+    """Per-node busy intervals: (start, end, cores) tuples, kept sorted."""
+
+    __slots__ = ("cores", "intervals")
+
+    def __init__(self, cores: int) -> None:
+        self.cores = cores
+        self.intervals: List[Tuple[int, int, int]] = []
+
+    def avail_during(self, at: int, duration: int, cores: int) -> bool:
+        window_end = at + duration
+        probes = {at}
+        for start, end, _ in self.intervals:
+            if at < start < window_end:
+                probes.add(start)
+        for probe in probes:
+            in_use = sum(
+                c for start, end, c in self.intervals if start <= probe < end
+            )
+            if self.cores - in_use < cores:
+                return False
+        return True
+
+
+class NodeCentricScheduler:
+    """Flat bitmap-style scheduler over ``nnodes`` identical nodes."""
+
+    def __init__(self, nnodes: int, cores_per_node: int = 1,
+                 plan_end: int = 2**40) -> None:
+        if nnodes < 1:
+            raise SchedulerError("need at least one node")
+        self.nodes = [_NodeState(cores_per_node) for _ in range(nnodes)]
+        self.cores_per_node = cores_per_node
+        self.plan_end = plan_end
+        self.allocations: Dict[int, NodeCentricAllocation] = {}
+        self._next_alloc_id = 1
+
+    # ------------------------------------------------------------------
+    # expressibility check (the model's fundamental limitation, §2)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def can_express(jobspec: Jobspec) -> bool:
+        """True when the flat model can represent ``jobspec`` at all.
+
+        Only node/core/slot shapes survive; any other resource type or any
+        constraint above the node level (racks, switches, storage, power)
+        falls outside the model.
+        """
+        return all(
+            request.type in ("node", "core", "slot")
+            for request in jobspec.walk()
+        )
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _fit_at(self, at: int, nnodes: int, cores: int, duration: int,
+                high_ids_first: bool) -> Optional[List[int]]:
+        ids = range(len(self.nodes) - 1, -1, -1) if high_ids_first else range(
+            len(self.nodes)
+        )
+        chosen = []
+        for node_id in ids:
+            if self.nodes[node_id].avail_during(at, duration, cores):
+                chosen.append(node_id)
+                if len(chosen) == nnodes:
+                    return chosen
+        return None
+
+    def allocate(
+        self,
+        nnodes: int,
+        duration: int,
+        cores_per_node: Optional[int] = None,
+        at: int = 0,
+        high_ids_first: bool = False,
+    ) -> Optional[NodeCentricAllocation]:
+        """First-fit allocation at exactly ``at``; None when it does not fit."""
+        cores = self.cores_per_node if cores_per_node is None else cores_per_node
+        if cores > self.cores_per_node or at + duration > self.plan_end:
+            return None
+        chosen = self._fit_at(at, nnodes, cores, duration, high_ids_first)
+        if chosen is None:
+            return None
+        return self._book(chosen, at, duration, cores, reserved=False)
+
+    def allocate_orelse_reserve(
+        self,
+        nnodes: int,
+        duration: int,
+        cores_per_node: Optional[int] = None,
+        now: int = 0,
+        high_ids_first: bool = False,
+    ) -> Optional[NodeCentricAllocation]:
+        """Allocate now or reserve at the earliest completion event."""
+        cores = self.cores_per_node if cores_per_node is None else cores_per_node
+        if cores > self.cores_per_node or nnodes > len(self.nodes):
+            return None
+        events = sorted(
+            {now}
+            | {
+                a.end
+                for a in self.allocations.values()
+                if now < a.end <= self.plan_end - duration
+            }
+        )
+        for candidate in events:
+            chosen = self._fit_at(candidate, nnodes, cores, duration, high_ids_first)
+            if chosen is not None:
+                return self._book(
+                    chosen, candidate, duration, cores, reserved=candidate > now
+                )
+        return None
+
+    def remove(self, alloc_id: int) -> None:
+        """Free an allocation (intervals are filtered out per node)."""
+        try:
+            alloc = self.allocations.pop(alloc_id)
+        except KeyError:
+            raise SchedulerError(f"unknown allocation {alloc_id}") from None
+        marker = (alloc.at, alloc.end, alloc.cores_per_node)
+        for node_id in alloc.node_ids:
+            self.nodes[node_id].intervals.remove(marker)
+
+    def _book(
+        self, node_ids: List[int], at: int, duration: int, cores: int,
+        reserved: bool,
+    ) -> NodeCentricAllocation:
+        for node_id in node_ids:
+            self.nodes[node_id].intervals.append((at, at + duration, cores))
+        alloc = NodeCentricAllocation(
+            alloc_id=self._next_alloc_id,
+            at=at,
+            duration=duration,
+            node_ids=sorted(node_ids),
+            cores_per_node=cores,
+            reserved=reserved,
+        )
+        self._next_alloc_id += 1
+        self.allocations[alloc.alloc_id] = alloc
+        return alloc

@@ -1,0 +1,5 @@
+"""Command-line tools (resource-query, paper §6.1)."""
+
+from .resource_query import ResourceQuery, main
+
+__all__ = ["ResourceQuery", "main"]

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the Fluxion reproduction.
+
+All library errors derive from :class:`FluxionError` so callers can catch a
+single base class.  Subsystems raise the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class FluxionError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PlannerError(FluxionError):
+    """Raised on invalid Planner operations (bad span bounds, overcommit, ...)."""
+
+
+class SpanNotFoundError(PlannerError, KeyError):
+    """Raised when a span id is unknown to a Planner."""
+
+
+class ResourceGraphError(FluxionError):
+    """Raised on invalid resource-graph construction or mutation."""
+
+
+class SubsystemError(ResourceGraphError):
+    """Raised when a subsystem name is unknown or inconsistent."""
+
+
+class RecipeError(FluxionError):
+    """Raised when a GRUG-style generation recipe is malformed."""
+
+
+class JobspecError(FluxionError):
+    """Raised when a canonical jobspec cannot be parsed or validated."""
+
+
+class MatchError(FluxionError):
+    """Raised on traverser/matching failures that are programming errors.
+
+    An *unsatisfiable* request is not an error — the traverser reports that
+    through its return value — but a malformed request or an inconsistent
+    internal state is.
+    """
+
+
+class AllocationNotFoundError(MatchError, KeyError):
+    """Raised when an allocation id is unknown to the traverser."""
+
+
+class SchedulerError(FluxionError):
+    """Raised on invalid scheduler/queue operations."""
+
+
+class JobError(SchedulerError):
+    """Raised on invalid job state transitions."""

@@ -1,0 +1,21 @@
+"""GRUG: resource-graph generation — recipes and system presets (paper §6.1)."""
+
+from .disaggregated import disaggregated_system
+from .network import edge_local_bandwidth_job, fat_tree_cluster
+from .presets import LOD_NAMES, build_lod, lod_recipe, quartz, tiny_cluster
+from .rabbit import rabbit_system
+from .recipe import build_from_recipe, load_recipe_file
+
+__all__ = [
+    "LOD_NAMES",
+    "edge_local_bandwidth_job",
+    "fat_tree_cluster",
+    "build_from_recipe",
+    "build_lod",
+    "disaggregated_system",
+    "load_recipe_file",
+    "lod_recipe",
+    "quartz",
+    "rabbit_system",
+    "tiny_cluster",
+]

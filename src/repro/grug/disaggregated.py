@@ -1,0 +1,73 @@
+"""Disaggregated-system modeling (paper §5.4, Fig. 5).
+
+A disaggregated supercomputer specialises racks by resource type — CPU racks,
+GPU racks, memory racks, burst-buffer racks — joined by a high-performance
+(e.g. optical) network.  With the graph model this is "fundamentally the same
+as scheduling a traditional containment hierarchy": the specialised racks are
+plain subtrees, and an optional ``network`` subsystem records which switch
+connects them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..resource import ResourceGraph
+
+__all__ = ["disaggregated_system"]
+
+
+def disaggregated_system(
+    cpu_racks: int = 2,
+    gpu_racks: int = 2,
+    memory_racks: int = 1,
+    bb_racks: int = 1,
+    cpus_per_rack: int = 32,
+    gpus_per_rack: int = 16,
+    memory_pools_per_rack: int = 16,
+    memory_pool_size: int = 64,
+    bb_pools_per_rack: int = 8,
+    bb_pool_size: int = 400,
+    with_network: bool = True,
+    plan_end: int = 2**40,
+    prune_types: Optional[Sequence[str]] = ("core", "gpu", "memory", "ssd"),
+) -> ResourceGraph:
+    """Build the Fig. 5b disaggregated system.
+
+    Rack vertices carry a ``specialized`` property naming their pool kind.
+    When ``with_network`` is set, a ``network`` subsystem connects an optical
+    switch vertex to every rack (conduit-of edges), demonstrating
+    multi-subsystem modeling.
+    """
+    graph = ResourceGraph(0, plan_end)
+    cluster = graph.add_vertex("cluster", basename="disagg")
+    racks = []
+
+    def add_racks(count: int, kind: str, child_type: str, pools: int, size: int):
+        for _ in range(count):
+            rack = graph.add_vertex(
+                "rack", basename=f"{kind}rack", properties={"specialized": kind}
+            )
+            graph.add_edge(cluster, rack)
+            racks.append(rack)
+            for _ in range(pools):
+                pool = graph.add_vertex(child_type, size=size)
+                graph.add_edge(rack, pool)
+
+    add_racks(cpu_racks, "cpu", "core", cpus_per_rack, 1)
+    add_racks(gpu_racks, "gpu", "gpu", gpus_per_rack, 1)
+    add_racks(memory_racks, "memory", "memory", memory_pools_per_rack,
+              memory_pool_size)
+    add_racks(bb_racks, "bb", "ssd", bb_pools_per_rack, bb_pool_size)
+
+    if with_network:
+        switch = graph.add_vertex("switch", basename="optical")
+        graph.add_edge(cluster, switch, subsystem="network",
+                       edge_type="conduit-of")
+        for rack in racks:
+            graph.add_edge(switch, rack, subsystem="network",
+                           edge_type="conduit-of")
+
+    if prune_types:
+        graph.install_pruning_filters(list(prune_types), at_types=["rack"])
+    return graph

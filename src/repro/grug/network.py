@@ -1,0 +1,96 @@
+"""Network-topology modeling: switch hierarchies as a subsystem (Fig. 1b).
+
+The paper's Figure 1b models an InfiniBand fabric with ``conduit-of`` edges
+from a core switch to edge switches to node HCAs.  This module builds a
+two-level fat-tree alongside the containment hierarchy:
+
+* containment: ``cluster -> rack -> node -> core ...`` (as usual);
+* network: ``cluster -> core_switch -> edge_switch (one per rack) -> node``
+  with a ``bandwidth`` pool under every switch, so bandwidth-constrained
+  requests match against the *network* subsystem while compute requests
+  match against containment — the paper's multi-subsystem story.
+
+Use :class:`~repro.match.Traverser` with ``subsystem="network"`` to schedule
+bandwidth, e.g. "give me 2 nodes plus 40 GB/s under one edge switch".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..jobspec import Jobspec, ResourceRequest, slot
+from ..resource import ResourceGraph
+
+__all__ = ["fat_tree_cluster", "edge_local_bandwidth_job"]
+
+
+def fat_tree_cluster(
+    racks: int = 4,
+    nodes_per_rack: int = 4,
+    cores_per_node: int = 8,
+    edge_bandwidth: int = 100,
+    core_bandwidth: int = 200,
+    plan_end: int = 2**40,
+    prune_types: Optional[Sequence[str]] = ("core", "node"),
+) -> ResourceGraph:
+    """Build a cluster with a parallel two-level fat-tree network subsystem.
+
+    Each rack's nodes hang off one edge switch; all edge switches hang off a
+    single core switch.  Switches carry ``bandwidth`` pools (GB/s): the edge
+    pool bounds intra-rack traffic, the core pool bounds traffic crossing
+    racks — the classic oversubscription model (``core_bandwidth`` less than
+    ``racks * edge_bandwidth`` means the fabric is oversubscribed).
+    """
+    graph = ResourceGraph(0, plan_end)
+    cluster = graph.add_vertex("cluster")
+    core_switch = graph.add_vertex("core_switch", basename="coresw")
+    graph.add_edge(cluster, core_switch, subsystem="network",
+                   edge_type="conduit-of")
+    core_bw = graph.add_vertex("bandwidth", basename="corebw",
+                               size=core_bandwidth)
+    graph.add_edge(core_switch, core_bw, subsystem="network")
+    for _ in range(racks):
+        rack = graph.add_vertex("rack")
+        graph.add_edge(cluster, rack)
+        edge_switch = graph.add_vertex("edge_switch", basename="edgesw")
+        graph.add_edge(core_switch, edge_switch, subsystem="network",
+                       edge_type="conduit-of")
+        edge_bw = graph.add_vertex("bandwidth", basename="edgebw",
+                                   size=edge_bandwidth)
+        graph.add_edge(edge_switch, edge_bw, subsystem="network")
+        for _ in range(nodes_per_rack):
+            node = graph.add_vertex("node")
+            graph.add_edge(rack, node)
+            graph.add_edge(edge_switch, node, subsystem="network",
+                           edge_type="conduit-of")
+            for _ in range(cores_per_node):
+                graph.add_edge(node, graph.add_vertex("core"))
+    if prune_types:
+        graph.install_pruning_filters(list(prune_types), at_types=["rack"])
+    return graph
+
+
+def edge_local_bandwidth_job(
+    nodes: int = 2,
+    gbps: int = 40,
+    duration: int = 3600,
+) -> Jobspec:
+    """Nodes plus bandwidth under a single edge switch (network subsystem).
+
+    Match this with ``Traverser(graph, subsystem="network")``: the switch
+    grouping guarantees the selected nodes and the reserved bandwidth share
+    one edge switch — the locality constraint the paper's topology-aware
+    plugins approximate.
+    """
+    switch = ResourceRequest(
+        type="edge_switch",
+        count=1,
+        with_=(
+            slot(
+                1,
+                ResourceRequest(type="node", count=nodes),
+                ResourceRequest(type="bandwidth", count=gbps, unit="GB/s"),
+            ),
+        ),
+    )
+    return Jobspec(resources=(switch,), duration=duration)

@@ -1,0 +1,191 @@
+"""System presets, including the four §6.1 level-of-detail configurations.
+
+The paper's LOD experiment (Fig. 6a) models the same 1008-node system four
+ways:
+
+* **High** — cluster -> 56 racks -> 18 nodes; each node has 2 sockets, each
+  socket 20 cores, 2 gpus, 8x16GB memory pools and 8x100GB burst buffers.
+* **Med** — sockets removed and node-local granularity coarsened: 40 cores,
+  4 gpus, 8x32GB memory, 8x200GB burst buffers per node.
+* **Low** — racks removed too; cores federated into pools of 5; 4x64GB
+  memory and 4x400GB burst buffers per node.
+* **Low2** — identical to Low but keeping the rack level (so pruning
+  happens higher up).
+
+Also provided: ``tiny_cluster`` for tests/examples and ``quartz`` for the
+§6.3 variation-aware study (42 racks x 62 nodes; the study uses 39 full
+racks = 2418 nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..resource import ResourceGraph
+from .recipe import build_from_recipe
+
+__all__ = ["lod_recipe", "build_lod", "LOD_NAMES", "tiny_cluster", "quartz"]
+
+LOD_NAMES = ("high", "med", "low", "low2")
+
+_NODE_SPECS = {
+    "high": [
+        {
+            "type": "socket",
+            "count": 2,
+            "with": [
+                {"type": "core", "count": 20},
+                {"type": "gpu", "count": 2},
+                {"type": "memory", "count": 8, "size": 16, "unit": "GB"},
+                {"type": "ssd", "count": 8, "size": 100, "unit": "GB"},
+            ],
+        }
+    ],
+    "med": [
+        {"type": "core", "count": 40},
+        {"type": "gpu", "count": 4},
+        {"type": "memory", "count": 8, "size": 32, "unit": "GB"},
+        {"type": "ssd", "count": 8, "size": 200, "unit": "GB"},
+    ],
+    "low": [
+        {"type": "core", "count": 8, "size": 5},
+        {"type": "gpu", "count": 4},
+        {"type": "memory", "count": 4, "size": 64, "unit": "GB"},
+        {"type": "ssd", "count": 4, "size": 400, "unit": "GB"},
+    ],
+}
+_NODE_SPECS["low2"] = _NODE_SPECS["low"]
+
+#: LODs that include the rack level (Low removes it, Low2 restores it).
+_HAS_RACKS = {"high": True, "med": True, "low": False, "low2": True}
+
+
+def lod_recipe(
+    lod: str,
+    racks: int = 56,
+    nodes_per_rack: int = 18,
+    plan_end: int = 2**40,
+) -> dict:
+    """Return the GRUG recipe mapping for one §6.1 LOD configuration."""
+    lod = lod.lower()
+    if lod not in LOD_NAMES:
+        raise ValueError(f"unknown LOD {lod!r}; expected one of {LOD_NAMES}")
+    node = {"type": "node", "with": _NODE_SPECS[lod]}
+    if _HAS_RACKS[lod]:
+        node_level = dict(node, count=nodes_per_rack)
+        top_children = [{"type": "rack", "count": racks, "with": [node_level]}]
+    else:
+        top_children = [dict(node, count=racks * nodes_per_rack)]
+    return {
+        "plan_end": plan_end,
+        "resources": {"type": "cluster", "with": top_children},
+    }
+
+
+def build_lod(
+    lod: str,
+    racks: int = 56,
+    nodes_per_rack: int = 18,
+    prune_types: Optional[Sequence[str]] = ("core",),
+    plan_end: int = 2**40,
+) -> ResourceGraph:
+    """Build one §6.1 LOD system, optionally installing pruning filters.
+
+    ``prune_types`` mirrors resource-query's ``--prune-filters`` (the paper
+    uses the core resource type); pass None for the no-pruning variants.
+    Filters are installed at rack and node vertices plus the root.
+    """
+    graph = build_from_recipe(lod_recipe(lod, racks, nodes_per_rack, plan_end))
+    if prune_types:
+        graph.install_pruning_filters(
+            list(prune_types), at_types=["rack", "node"]
+        )
+    return graph
+
+
+def tiny_cluster(
+    racks: int = 2,
+    nodes_per_rack: int = 2,
+    cores: int = 4,
+    gpus: int = 1,
+    memory_pools: int = 2,
+    memory_size: int = 16,
+    plan_end: int = 2**40,
+    prune_types: Optional[Sequence[str]] = ("core", "node", "memory", "gpu"),
+) -> ResourceGraph:
+    """A small cluster for examples and tests."""
+    node_children = [{"type": "core", "count": cores}]
+    if gpus:
+        node_children.append({"type": "gpu", "count": gpus})
+    if memory_pools:
+        node_children.append(
+            {"type": "memory", "count": memory_pools, "size": memory_size,
+             "unit": "GB"}
+        )
+    graph = build_from_recipe(
+        {
+            "plan_end": plan_end,
+            "resources": {
+                "type": "cluster",
+                "with": [
+                    {
+                        "type": "rack",
+                        "count": racks,
+                        "with": [
+                            {"type": "node", "count": nodes_per_rack,
+                             "with": node_children}
+                        ],
+                    }
+                ],
+            },
+        }
+    )
+    if prune_types:
+        graph.install_pruning_filters(
+            list(prune_types), at_types=["rack", "node"]
+        )
+    return graph
+
+
+def quartz(
+    racks: int = 39,
+    nodes_per_rack: int = 62,
+    cores_per_node: int = 36,
+    with_cores: bool = False,
+    perf_classes: Optional[Mapping[int, int]] = None,
+    plan_end: int = 2**40,
+    prune_types: Optional[Sequence[str]] = ("node",),
+) -> ResourceGraph:
+    """The §6.3 quartz model: 39 full racks x 62 nodes = 2418 nodes.
+
+    The variation study schedules whole nodes, so per-core vertices are
+    omitted by default (``with_cores=True`` restores them).  ``perf_classes``
+    maps node id -> performance class (Eq. 1) and is stored as the
+    ``perf_class`` node property the variation-aware policy reads.
+    """
+    node: dict = {"type": "node"}
+    if with_cores:
+        node["with"] = [{"type": "core", "count": cores_per_node}]
+    graph = build_from_recipe(
+        {
+            "plan_end": plan_end,
+            "resources": {
+                "type": "cluster",
+                "basename": "quartz",
+                "with": [
+                    {
+                        "type": "rack",
+                        "count": racks,
+                        "with": [dict(node, count=nodes_per_rack)],
+                    }
+                ],
+            },
+        }
+    )
+    if perf_classes:
+        for vertex in graph.vertices("node"):
+            if vertex.id in perf_classes:
+                vertex.properties["perf_class"] = perf_classes[vertex.id]
+    if prune_types:
+        graph.install_pruning_filters(list(prune_types), at_types=["rack"])
+    return graph

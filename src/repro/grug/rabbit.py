@@ -1,0 +1,73 @@
+"""Near-node-flash ("rabbit") system modeling (paper §5.1).
+
+El Capitan-style multi-tiered storage: each compute chassis holds a small
+fixed number of compute nodes plus one *rabbit* — a storage controller with a
+collection of SSDs that can be configured as node-local or job-global
+storage.  The graph encodes every constraint the paper lists:
+
+* the rabbit vertex has edges from **both** its chassis and the cluster,
+  because rabbits are schedulable as rack-level or cluster-level resources;
+* per-SSD ``nvme_namespace`` pool vertices bound how many file systems can
+  be carved from one rabbit (NVMe namespace limit);
+* a single ``ip`` vertex of size one per rabbit enforces "at most one
+  Lustre server per rabbit" (the server needs a unique IP).
+
+Storage-only allocations (a user keeping a file system across jobs) are
+ordinary matches that simply request no compute.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..resource import ResourceGraph
+
+__all__ = ["rabbit_system"]
+
+
+def rabbit_system(
+    chassis: int = 4,
+    nodes_per_chassis: int = 4,
+    cores_per_node: int = 8,
+    ssds_per_rabbit: int = 4,
+    ssd_size: int = 1000,
+    namespaces_per_ssd: int = 8,
+    plan_end: int = 2**40,
+    prune_types: Optional[Sequence[str]] = ("core", "node", "ssd"),
+) -> ResourceGraph:
+    """Build a rabbit-equipped system.
+
+    Layout per chassis (modeled as a ``rack`` vertex)::
+
+        rack -> node x nodes_per_chassis -> core x cores_per_node
+        rack -> rabbit  (also cluster -> rabbit)
+        rabbit -> ssd x ssds_per_rabbit          (pool of ssd_size GB each)
+        rabbit -> nvme_namespace (pool of ssds_per_rabbit*namespaces_per_ssd)
+        rabbit -> ip              (pool of size 1)
+    """
+    graph = ResourceGraph(0, plan_end)
+    cluster = graph.add_vertex("cluster", basename="elcap")
+    for _ in range(chassis):
+        rack = graph.add_vertex("rack", basename="chassis")
+        graph.add_edge(cluster, rack)
+        for _ in range(nodes_per_chassis):
+            node = graph.add_vertex("node")
+            graph.add_edge(rack, node)
+            for _ in range(cores_per_node):
+                graph.add_edge(node, graph.add_vertex("core"))
+        rabbit = graph.add_vertex("rabbit")
+        graph.add_edge(rack, rabbit)
+        # Rabbits are both rack- and cluster-level resources (§5.1).
+        graph.add_edge(cluster, rabbit)
+        for _ in range(ssds_per_rabbit):
+            ssd = graph.add_vertex("ssd", size=ssd_size)
+            graph.add_edge(rabbit, ssd)
+        namespaces = graph.add_vertex(
+            "nvme_namespace", size=ssds_per_rabbit * namespaces_per_ssd
+        )
+        graph.add_edge(rabbit, namespaces)
+        ip = graph.add_vertex("ip", size=1)
+        graph.add_edge(rabbit, ip)
+    if prune_types:
+        graph.install_pruning_filters(list(prune_types), at_types=["rack", "rabbit"])
+    return graph

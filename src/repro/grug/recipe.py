@@ -1,0 +1,105 @@
+"""GRUG-style resource-graph generation recipes (paper §6.1).
+
+Fluxion's GRUG ("Generating Resources Using GraphML") reads a recipe and
+populates the resource graph store.  This module provides the equivalent with
+a YAML/dict recipe format::
+
+    plan_end: 100000
+    resources:
+      type: cluster
+      with:
+        - type: rack
+          count: 56
+          with:
+            - type: node
+              count: 18
+              with:
+                - {type: socket, count: 2, with: [
+                      {type: core, count: 20},
+                      {type: gpu, count: 2},
+                      {type: memory, count: 8, size: 16, unit: GB},
+                      {type: ssd, count: 8, size: 100, unit: GB}]}
+
+``count`` replicates a vertex under its parent; ``size`` sets the pool size
+of each replica (levels of detail: 8x16GB vs 4x64GB memory pools, §3.3).
+``properties`` attaches free-form tags to each replica.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+import yaml
+
+from ..errors import RecipeError
+from ..resource import ResourceGraph, ResourceVertex
+
+__all__ = ["build_from_recipe", "load_recipe_file"]
+
+_VERTEX_KEYS = {"type", "count", "size", "unit", "basename", "properties", "with"}
+
+
+def _build_level(
+    graph: ResourceGraph, parent: Optional[ResourceVertex], spec: Mapping[str, Any]
+) -> None:
+    if not isinstance(spec, Mapping):
+        raise RecipeError(f"resource spec must be a mapping, got {spec!r}")
+    if "type" not in spec:
+        raise RecipeError(f"resource spec missing 'type': {spec!r}")
+    unknown = set(spec) - _VERTEX_KEYS
+    if unknown:
+        raise RecipeError(f"{spec['type']}: unknown recipe keys {sorted(unknown)}")
+    count = spec.get("count", 1)
+    if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+        raise RecipeError(f"{spec['type']}: count must be a positive int")
+    size = spec.get("size", 1)
+    if not isinstance(size, int) or isinstance(size, bool) or size < 0:
+        raise RecipeError(f"{spec['type']}: size must be a non-negative int")
+    children = spec.get("with", [])
+    if not isinstance(children, list):
+        raise RecipeError(f"{spec['type']}: 'with' must be a list")
+    for _ in range(count):
+        vertex = graph.add_vertex(
+            type=str(spec["type"]),
+            basename=spec.get("basename"),
+            size=size,
+            unit=spec.get("unit"),
+            properties=spec.get("properties"),
+        )
+        if parent is not None:
+            graph.add_edge(parent, vertex)
+        for child in children:
+            _build_level(graph, vertex, child)
+
+
+def build_from_recipe(source: "str | Mapping[str, Any]") -> ResourceGraph:
+    """Build a :class:`ResourceGraph` from a recipe (YAML text or mapping)."""
+    if isinstance(source, str):
+        try:
+            data = yaml.safe_load(source)
+        except yaml.YAMLError as exc:
+            raise RecipeError(f"invalid YAML: {exc}") from exc
+    else:
+        data = source
+    if not isinstance(data, Mapping):
+        raise RecipeError("recipe must be a mapping")
+    if "resources" not in data:
+        raise RecipeError("recipe requires a 'resources' entry")
+    plan_start = data.get("plan_start", 0)
+    plan_end = data.get("plan_end", 2**62)
+    graph = ResourceGraph(plan_start, plan_end)
+    _build_level(graph, None, data["resources"])
+    prune = data.get("prune_filters")
+    if prune:
+        if not isinstance(prune, Mapping) or "types" not in prune:
+            raise RecipeError("prune_filters requires a 'types' list")
+        graph.install_pruning_filters(
+            list(prune["types"]), at_types=prune.get("at")
+        )
+    return graph
+
+
+def load_recipe_file(path: str) -> ResourceGraph:
+    """Read and build a recipe YAML file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return build_from_recipe(handle.read())

@@ -1,0 +1,27 @@
+"""Canonical jobspec: the abstract resource request graph (paper §4.2)."""
+
+from .build import (
+    from_counts,
+    nodes_jobspec,
+    pool_jobspec,
+    rack_spread_jobspec,
+    simple_node_jobspec,
+    slot,
+)
+from .model import SLOT, Jobspec, ResourceRequest
+from .parse import load_jobspec_file, parse_jobspec, parse_request
+
+__all__ = [
+    "SLOT",
+    "Jobspec",
+    "ResourceRequest",
+    "from_counts",
+    "load_jobspec_file",
+    "nodes_jobspec",
+    "parse_jobspec",
+    "parse_request",
+    "pool_jobspec",
+    "rack_spread_jobspec",
+    "simple_node_jobspec",
+    "slot",
+]

@@ -1,0 +1,132 @@
+"""Programmatic jobspec construction helpers.
+
+Most callers want one of the canned shapes from the paper's figures:
+
+* :func:`simple_node_jobspec` — Fig 4a style node-local requests;
+* :func:`rack_spread_jobspec` — Fig 4b style rack-level constraints;
+* :func:`pool_jobspec` — Fig 4c style aggregate pool requests;
+* :func:`nodes_jobspec` — whole-node allocations for trace replay (§6.3).
+
+For anything else, compose :class:`~repro.jobspec.model.ResourceRequest`
+directly; it is a small frozen dataclass.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from .model import Jobspec, ResourceRequest, SLOT
+
+__all__ = [
+    "simple_node_jobspec",
+    "rack_spread_jobspec",
+    "pool_jobspec",
+    "nodes_jobspec",
+    "from_counts",
+    "slot",
+]
+
+
+def slot(count: int, *children: ResourceRequest, label: str = "default") -> ResourceRequest:
+    """A slot vertex grouping ``children`` (everything below is exclusive)."""
+    return ResourceRequest(type=SLOT, count=count, label=label, with_=tuple(children))
+
+
+def simple_node_jobspec(
+    cores: int,
+    memory: int = 0,
+    gpus: int = 0,
+    ssds: int = 0,
+    nodes: int = 1,
+    duration: int = 3600,
+    node_exclusive: bool = False,
+) -> Jobspec:
+    """Node-local request: ``nodes`` shared nodes, each holding one slot of
+    ``cores`` cores (+ optional gpus / memory units / burst-buffer units).
+
+    This is the §6.1 evaluation jobspec shape ("10 cores, 8GB memory, 1 burst
+    buffer on a node").
+    """
+    inner = [ResourceRequest(type="core", count=cores)]
+    if gpus:
+        inner.append(ResourceRequest(type="gpu", count=gpus))
+    if memory:
+        inner.append(ResourceRequest(type="memory", count=memory, unit="GB"))
+    if ssds:
+        inner.append(ResourceRequest(type="ssd", count=ssds, unit="GB"))
+    node = ResourceRequest(
+        type="node",
+        count=nodes,
+        exclusive=True if node_exclusive else None,
+        with_=(slot(1, *inner),),
+    )
+    return Jobspec(resources=(node,), duration=duration)
+
+
+def rack_spread_jobspec(
+    racks: int,
+    slots_per_rack: int,
+    nodes_per_slot: int,
+    cores_per_node: int = 0,
+    gpus_per_node: int = 0,
+    duration: int = 3600,
+) -> Jobspec:
+    """Rack-level constraint (Fig 4b): slots spread across ``racks`` racks."""
+    node_children = []
+    if cores_per_node:
+        node_children.append(ResourceRequest(type="core", count=cores_per_node))
+    if gpus_per_node:
+        node_children.append(ResourceRequest(type="gpu", count=gpus_per_node))
+    node = ResourceRequest(
+        type="node", count=nodes_per_slot, with_=tuple(node_children)
+    )
+    rack = ResourceRequest(
+        type="rack", count=racks, with_=(slot(slots_per_rack, node),)
+    )
+    return Jobspec(resources=(rack,), duration=duration)
+
+
+def pool_jobspec(
+    pool_type: str,
+    amount: int,
+    within: Optional[str] = None,
+    duration: int = 3600,
+    unit: str = "",
+) -> Jobspec:
+    """Aggregate pool request (Fig 4c): ``amount`` units of ``pool_type``,
+    optionally constrained inside one ``within`` vertex (e.g. ``pfs``)."""
+    leaf = slot(1, ResourceRequest(type=pool_type, count=amount, unit=unit))
+    if within is not None:
+        top = ResourceRequest(type=within, count=1, with_=(leaf,))
+    else:
+        top = leaf
+    return Jobspec(resources=(top,), duration=duration)
+
+
+def nodes_jobspec(
+    nnodes: int,
+    duration: int = 3600,
+    exclusive: bool = True,
+) -> Jobspec:
+    """Whole-node allocation of ``nnodes`` nodes (trace replay, §6.3)."""
+    return Jobspec(
+        resources=(
+            ResourceRequest(
+                type=SLOT,
+                count=nnodes,
+                label="default",
+                with_=(ResourceRequest(type="node", count=1, exclusive=exclusive),),
+            ),
+        ),
+        duration=duration,
+    )
+
+
+def from_counts(
+    counts: Mapping[str, int], duration: int = 3600, exclusive: bool = True
+) -> Jobspec:
+    """Flat request of ``counts`` per type inside one slot (testing helper)."""
+    children = tuple(
+        ResourceRequest(type=rtype, count=count) for rtype, count in counts.items()
+    )
+    return Jobspec(resources=(slot(1, *children),), duration=duration)

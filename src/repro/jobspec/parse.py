@@ -1,0 +1,126 @@
+"""Canonical jobspec YAML reader (paper §4.2).
+
+Accepts the Flux canonical jobspec V1 layout::
+
+    version: 1
+    resources:
+      - type: node
+        count: 1
+        with:
+          - type: slot
+            count: 1
+            label: default
+            with:
+              - type: core
+                count: 5
+    attributes:
+      system:
+        duration: 3600
+    tasks: []
+
+``count`` may be an integer or the canonical ``{min, max, operator, operand}``
+mapping, of which the ``min`` is honoured (the paper's workloads use fixed
+counts).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Union
+
+import yaml
+
+from ..errors import JobspecError
+from .model import Jobspec, ResourceRequest
+
+__all__ = ["parse_jobspec", "parse_request", "load_jobspec_file"]
+
+
+def _parse_count(raw: Any, context: str):
+    """Return (min, max_or_None) from an int or {min,max,...} mapping."""
+    if isinstance(raw, bool):
+        raise JobspecError(f"{context}: count must be an integer, got bool")
+    if isinstance(raw, int):
+        return raw, None
+    if isinstance(raw, Mapping):
+        if "min" not in raw:
+            raise JobspecError(f"{context}: count mapping requires 'min'")
+        lo, _ = _parse_count(raw["min"], context)
+        hi = raw.get("max")
+        if hi is not None:
+            hi, _ = _parse_count(hi, context)
+        # operator/operand describe how to iterate min..max; any reachable
+        # value is acceptable to the matcher, so the range suffices here.
+        return lo, hi
+    raise JobspecError(f"{context}: count must be an int or mapping, got {raw!r}")
+
+
+def parse_request(raw: Mapping[str, Any]) -> ResourceRequest:
+    """Parse one resource-request vertex (recursively)."""
+    if not isinstance(raw, Mapping):
+        raise JobspecError(f"resource entry must be a mapping, got {raw!r}")
+    if "type" not in raw:
+        raise JobspecError(f"resource entry missing 'type': {raw!r}")
+    rtype = str(raw["type"])
+    known = {"type", "count", "exclusive", "label", "unit", "with", "requires"}
+    unknown = set(raw) - known
+    if unknown:
+        raise JobspecError(f"{rtype}: unknown resource keys {sorted(unknown)}")
+    count, count_max = _parse_count(raw.get("count", 1), rtype)
+    exclusive = raw.get("exclusive")
+    if exclusive is not None and not isinstance(exclusive, bool):
+        raise JobspecError(f"{rtype}: exclusive must be a boolean")
+    children_raw = raw.get("with", [])
+    if not isinstance(children_raw, list):
+        raise JobspecError(f"{rtype}: 'with' must be a list")
+    children = tuple(parse_request(child) for child in children_raw)
+    label = raw.get("label")
+    requires = raw.get("requires")
+    if requires is not None and not isinstance(requires, str):
+        raise JobspecError(f"{rtype}: requires must be an expression string")
+    return ResourceRequest(
+        type=rtype,
+        count=count,
+        count_max=count_max,
+        requires=requires,
+        exclusive=exclusive,
+        label=None if label is None else str(label),
+        unit=str(raw.get("unit", "")),
+        with_=children,
+    )
+
+
+def parse_jobspec(source: Union[str, Mapping[str, Any]]) -> Jobspec:
+    """Parse a jobspec from YAML text or an already-loaded mapping."""
+    if isinstance(source, str):
+        try:
+            data = yaml.safe_load(source)
+        except yaml.YAMLError as exc:
+            raise JobspecError(f"invalid YAML: {exc}") from exc
+    else:
+        data = source
+    if not isinstance(data, Mapping):
+        raise JobspecError(f"jobspec must be a mapping, got {type(data).__name__}")
+    version = data.get("version", 1)
+    if version != 1:
+        raise JobspecError(f"unsupported jobspec version: {version!r}")
+    resources_raw = data.get("resources")
+    if not isinstance(resources_raw, list) or not resources_raw:
+        raise JobspecError("jobspec requires a non-empty 'resources' list")
+    resources = tuple(parse_request(entry) for entry in resources_raw)
+    attributes = dict(data.get("attributes") or {})
+    system = attributes.get("system") or {}
+    duration = system.get("duration", 3600)
+    if not isinstance(duration, int) or isinstance(duration, bool):
+        raise JobspecError(f"duration must be an integer, got {duration!r}")
+    return Jobspec(
+        resources=resources,
+        duration=duration,
+        attributes=attributes,
+        version=version,
+    )
+
+
+def load_jobspec_file(path: str) -> Jobspec:
+    """Read and parse a jobspec YAML file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_jobspec(handle.read())

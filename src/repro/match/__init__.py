@@ -1,0 +1,33 @@
+"""Matching subsystem: traverser, policies, pruning/SDFU (paper §3.2-§3.4)."""
+
+from .policy import (
+    POLICIES,
+    CallbackPolicy,
+    FirstMatch,
+    HighIdFirst,
+    LocalityAware,
+    LowIdFirst,
+    MatchPolicy,
+    VariationAware,
+    VariationGreedy,
+    make_policy,
+)
+from .traverser import Candidate, Traverser
+from .writer import Allocation, Selection
+
+__all__ = [
+    "POLICIES",
+    "Allocation",
+    "CallbackPolicy",
+    "Candidate",
+    "FirstMatch",
+    "HighIdFirst",
+    "LocalityAware",
+    "LowIdFirst",
+    "MatchPolicy",
+    "Selection",
+    "Traverser",
+    "VariationAware",
+    "VariationGreedy",
+    "make_policy",
+]

@@ -1,0 +1,728 @@
+"""The DFU traverser: graph matching, pruning and SDFU (paper §3.2-§3.4).
+
+The traverser walks the resource graph store in depth-first order, matches an
+abstract resource request graph (jobspec) against it, and emits the selected
+resource set.  Three operations mirror Fluxion's match verbs:
+
+* :meth:`Traverser.allocate` — match at a fixed time or fail;
+* :meth:`Traverser.allocate_orelse_reserve` — match now, or reserve the
+  earliest future window (conservative-backfill building block).  Candidate
+  start times come from the containment root's pruning filter via
+  ``PlannerMultiAvailTimeFirst`` (§4.1);
+* :meth:`Traverser.satisfiable` — structural check against raw capacities,
+  ignoring current allocations.
+
+Pruning (§3.4): while collecting candidates the traverser consults each
+interior vertex's pruning filter with the request's per-unit subtree demand
+and skips subtrees that cannot satisfy it; exclusively-held vertices are
+skipped outright.  After a successful match, the Scheduler-Driven Filter
+Update (SDFU) books the selected amounts into every ancestor filter along the
+selected paths only — the filters are never recomputed from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import functools
+
+from ..errors import AllocationNotFoundError, MatchError
+from ..jobspec import Jobspec, ResourceRequest
+from ..resource import CONTAINMENT, ResourceGraph, ResourceVertex
+from ..resource.vertex import X_LIMIT
+from .policy import MatchPolicy, make_policy
+from .writer import Allocation, Selection
+
+__all__ = ["Traverser", "Candidate"]
+
+
+@functools.lru_cache(maxsize=256)
+def _compiled_requires(expression: str):
+    from ..resource.expr import compile_expression
+
+    return compile_expression(expression)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A candidate vertex plus the interior vertices crossed to reach it."""
+
+    vertex: ResourceVertex
+    via: Tuple[ResourceVertex, ...] = ()
+
+
+class _Tentative:
+    """Journalled tentative bookings for one in-progress match.
+
+    Quantities and exclusivity levels claimed so far are tracked per vertex;
+    ``mark``/``rollback`` undo failed sub-matches cheaply.
+    """
+
+    __slots__ = ("qty", "x", "passthrough", "_journal")
+
+    def __init__(self) -> None:
+        self.qty: Dict[int, int] = {}
+        self.x: Dict[int, int] = {}
+        self.passthrough: set = set()
+        self._journal: List[Tuple[str, int, int]] = []
+
+    def add_qty(self, uid: int, amount: int) -> None:
+        if amount:
+            self.qty[uid] = self.qty.get(uid, 0) + amount
+            self._journal.append(("q", uid, amount))
+
+    def add_x(self, uid: int, amount: int) -> None:
+        self.x[uid] = self.x.get(uid, 0) + amount
+        self._journal.append(("x", uid, amount))
+
+    def add_passthrough(self, uid: int) -> bool:
+        """Record a pass-through visit; False when already recorded."""
+        if uid in self.passthrough:
+            return False
+        self.passthrough.add(uid)
+        self._journal.append(("p", uid, 0))
+        return True
+
+    def mark(self) -> int:
+        return len(self._journal)
+
+    def rollback(self, mark: int) -> None:
+        while len(self._journal) > mark:
+            kind, uid, amount = self._journal.pop()
+            if kind == "q":
+                self.qty[uid] -= amount
+                if not self.qty[uid]:
+                    del self.qty[uid]
+            elif kind == "x":
+                self.x[uid] -= amount
+                if not self.x[uid]:
+                    del self.x[uid]
+            else:
+                self.passthrough.discard(uid)
+
+
+class Traverser:
+    """Depth-first-and-up traverser over one subsystem of a resource graph.
+
+    Parameters
+    ----------
+    graph:
+        The resource graph store.
+    policy:
+        A :class:`~repro.match.policy.MatchPolicy` instance or registered
+        policy name (``first``/``high``/``low``/``locality``/``variation``).
+    prune:
+        Enable pruning-filter consultation during candidate collection.
+    subsystem:
+        The subsystem to traverse (graph filtering, §3.3).
+    max_reserve_iters:
+        Safety bound on the candidate-time iteration of
+        ``allocate_orelse_reserve``.
+    """
+
+    def __init__(
+        self,
+        graph: ResourceGraph,
+        policy: "MatchPolicy | str" = "first",
+        prune: bool = True,
+        subsystem: str = CONTAINMENT,
+        max_reserve_iters: int = 100_000,
+    ) -> None:
+        self.graph = graph
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.prune = prune
+        self.subsystem = subsystem
+        self.max_reserve_iters = max_reserve_iters
+        self.allocations: Dict[int, Allocation] = {}
+        self._next_alloc_id = 1
+        #: performance counters: vertices visited, matches, failed matches
+        self.stats = {"visits": 0, "matched": 0, "failed": 0, "reserve_iters": 0}
+
+    # ------------------------------------------------------------------
+    # public operations
+    # ------------------------------------------------------------------
+    def allocate(self, jobspec: Jobspec, at: int = 0) -> Optional[Allocation]:
+        """Match and book ``jobspec`` starting exactly at ``at``.
+
+        Returns the Allocation, or None when the request cannot be satisfied
+        at that time.
+        """
+        selections = self._match_at(at, jobspec.duration, jobspec)
+        if selections is None:
+            self.stats["failed"] += 1
+            return None
+        return self._book(selections, at, jobspec.duration, reserved=False)
+
+    def allocate_orelse_reserve(
+        self, jobspec: Jobspec, now: int = 0
+    ) -> Optional[Allocation]:
+        """Match at ``now`` or reserve the earliest future window.
+
+        Candidate start times are produced by the containment root's pruning
+        filter (install one with
+        :meth:`~repro.resource.graph.ResourceGraph.install_pruning_filters`);
+        each candidate is verified with a full match, and the first success
+        is booked.  Returns None when the request can never fit.
+        """
+        duration = jobspec.duration
+        totals = jobspec.totals()
+        # Availability only changes at scheduled points, so the earliest
+        # feasible start is `now` or a later event: an allocation completing,
+        # or any state change visible in a root pruning filter (which also
+        # covers outage windows booked by CapacitySchedule).  Root filters
+        # additionally *jump* the candidate time forward with the paper's
+        # PlannerMultiAvailTimeFirst: times whose aggregate availability
+        # cannot cover the request totals are skipped wholesale (§3.4, §4.1).
+        horizon = self.graph.plan_end - duration
+        if now > horizon:
+            return None
+        prefilters = [
+            (root.prune_filters, {
+                t: n for t, n in totals.items() if root.prune_filters.tracks(t)
+            })
+            for root in self.graph.roots(self.subsystem)
+            if root.prune_filters is not None
+        ]
+        candidate = now
+        for _ in range(self.max_reserve_iters):
+            self.stats["reserve_iters"] += 1
+            # Advance to the first aggregate-feasible time per every filter.
+            stable = False
+            while not stable:
+                stable = True
+                for filters, tracked in prefilters:
+                    if not tracked:
+                        continue
+                    t = filters.avail_time_first(tracked, duration, candidate)
+                    if t is None:
+                        self.stats["failed"] += 1
+                        return None
+                    if t > candidate:
+                        candidate = t
+                        stable = False
+            if candidate > horizon:
+                self.stats["failed"] += 1
+                return None
+            selections = self._match_at(candidate, duration, jobspec)
+            if selections is not None:
+                return self._book(
+                    selections, candidate, duration, reserved=candidate > now
+                )
+            # Aggregates were satisfied but the full match failed (spatial
+            # fragmentation): move to the next event after the candidate.
+            events = [
+                a.end
+                for a in self.allocations.values()
+                if candidate < a.end <= horizon
+            ]
+            for filters, _ in prefilters:
+                t = filters.next_event_time(candidate)
+                if t is not None and t <= horizon:
+                    events.append(t)
+            if not events:
+                break
+            candidate = min(events)
+        else:
+            raise MatchError(
+                f"reservation search exceeded {self.max_reserve_iters} "
+                "candidate times"
+            )
+        self.stats["failed"] += 1
+        return None
+
+    def reserve(self, jobspec: Jobspec, earliest: int = 0) -> Optional[Allocation]:
+        """Reserve the earliest window at or after ``earliest`` (alias that
+        never considers 'now' special; the result may still start at
+        ``earliest``)."""
+        return self.allocate_orelse_reserve(jobspec, now=earliest)
+
+    def satisfiable(self, jobspec: Jobspec) -> bool:
+        """Could ``jobspec`` ever match this graph, ignoring allocations?"""
+        return self._match_at(None, jobspec.duration, jobspec) is not None
+
+    def remove(self, alloc_id: int) -> Allocation:
+        """Release an allocation or cancel a reservation."""
+        try:
+            alloc = self.allocations.pop(alloc_id)
+        except KeyError:
+            raise AllocationNotFoundError(alloc_id) from None
+        for planner, span_id in alloc._span_records:
+            planner.rem_span(span_id)
+        alloc._span_records.clear()
+        return alloc
+
+    def remove_all(self) -> None:
+        """Release every allocation made through this traverser."""
+        for alloc_id in list(self.allocations):
+            self.remove(alloc_id)
+
+    def update_end(self, alloc_id: int, new_end: int) -> Allocation:
+        """Extend or truncate an allocation's window in place (§5.5).
+
+        Extension succeeds only when every booked vertex (and filter) has the
+        capacity free over the added segment — reservations made after this
+        allocation physically block it, so walltime extensions can never
+        invalidate the schedule.  All-or-nothing: on failure the allocation
+        is left exactly as it was and :class:`MatchError` is raised.
+        """
+        from ..errors import PlannerError
+
+        try:
+            alloc = self.allocations[alloc_id]
+        except KeyError:
+            raise AllocationNotFoundError(alloc_id) from None
+        if new_end == alloc.end:
+            return alloc
+        old_end = alloc.end
+        done = []
+        try:
+            for planner, span_id in alloc._span_records:
+                planner.update_span_end(span_id, new_end)
+                done.append((planner, span_id))
+        except PlannerError as exc:
+            for planner, span_id in done:
+                planner.update_span_end(span_id, old_end)
+            raise MatchError(
+                f"cannot move allocation {alloc_id} end to {new_end}: {exc}"
+            ) from exc
+        alloc.duration = new_end - alloc.at
+        return alloc
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+    def _match_at(
+        self, at: Optional[int], duration: int, jobspec: Jobspec
+    ) -> Optional[List[Selection]]:
+        """Match the whole jobspec at time ``at`` (None = capacity mode)."""
+        if at is not None and at + duration > self.graph.plan_end:
+            return None
+        tentative = _Tentative()
+        out: List[Selection] = []
+        ok = self._match_requests(
+            None, list(jobspec.resources), at, duration, False, tentative, out
+        )
+        if ok:
+            self.stats["matched"] += 1
+            return out
+        return None
+
+    def _match_requests(
+        self,
+        parent: Optional[ResourceVertex],
+        requests: List[ResourceRequest],
+        at: Optional[int],
+        duration: int,
+        exclusive_ctx: bool,
+        tentative: _Tentative,
+        out: List[Selection],
+    ) -> bool:
+        for request in requests:
+            if request.is_slot:
+                # A slot is a grouping shape: its children are matched with
+                # multiplied counts and forced exclusivity (paper §4.2).
+                for child in request.with_:
+                    scaled = replace(
+                        child,
+                        count=child.count * request.count,
+                        count_max=(
+                            None
+                            if child.count_max is None
+                            else child.count_max * request.count
+                        ),
+                    )
+                    if not self._match_one(
+                        parent, scaled, at, duration, True, tentative, out
+                    ):
+                        return False
+            elif not self._match_one(
+                parent, request, at, duration, exclusive_ctx, tentative, out
+            ):
+                return False
+        return True
+
+    def _match_one(
+        self,
+        parent: Optional[ResourceVertex],
+        request: ResourceRequest,
+        at: Optional[int],
+        duration: int,
+        exclusive_ctx: bool,
+        tentative: _Tentative,
+        out: List[Selection],
+    ) -> bool:
+        exclusive = request.effective_exclusive(exclusive_ctx)
+        demand = self._unit_demand(request)
+        candidates = self._collect(parent, request, at, duration, tentative, demand)
+        if not candidates:
+            return False
+        quantity_mode = not request.with_ and any(
+            c.vertex.size != 1 for c in candidates
+        )
+        ordered = self.policy.order(candidates, request)
+        mark = tentative.mark()
+        length = len(out)
+        if quantity_mode:
+            ok = self._fill_quantity(
+                ordered, request, at, duration, exclusive, tentative, out
+            )
+        else:
+            ok = self._fill_count(
+                ordered, request, at, duration, exclusive, demand, tentative, out
+            )
+        if not ok:
+            tentative.rollback(mark)
+            del out[length:]
+        return ok
+
+    def _fill_quantity(
+        self,
+        ordered: List[Candidate],
+        request: ResourceRequest,
+        at: Optional[int],
+        duration: int,
+        exclusive: bool,
+        tentative: _Tentative,
+        out: List[Selection],
+    ) -> bool:
+        """Aggregate units across pool candidates greedily.
+
+        Fills toward ``request.max_count`` and succeeds once at least
+        ``request.count`` units are gathered (moldable ranges take what is
+        available, §5.5).
+        """
+        remaining = request.max_count
+        minimum = request.count
+        for candidate in ordered:
+            vertex = candidate.vertex
+            uid = vertex.uniq_id
+            avail = self._avail_qty(vertex, at, duration) - tentative.qty.get(uid, 0)
+            if avail <= 0:
+                continue
+            if self._avail_x(vertex, at, duration) - tentative.x.get(uid, 0) < 1:
+                continue
+            take = min(avail, remaining)
+            tentative.add_qty(uid, take)
+            tentative.add_x(uid, 1)
+            # Pool quantities are owned by amount, not by exclusivity: the
+            # allocated units can never be shared, and locking the whole pool
+            # would block other jobs from the remaining units (an exclusive
+            # jobspec flag on a pool is equivalent to requesting it all).
+            out.append(Selection(vertex, take, False))
+            self._book_passthrough(candidate.via, at, duration, tentative, out)
+            remaining -= take
+            if remaining == 0:
+                return True
+        return request.max_count - remaining >= minimum
+
+    def _fill_count(
+        self,
+        ordered: List[Candidate],
+        request: ResourceRequest,
+        at: Optional[int],
+        duration: int,
+        exclusive: bool,
+        demand: Dict[str, int],
+        tentative: _Tentative,
+        out: List[Selection],
+    ) -> bool:
+        """Select distinct vertices (``request.count`` up to
+        ``request.max_count``), matching children inside each; greedy with
+        per-candidate fallback (no cross-subtree backtracking, mirroring
+        Fluxion's one-pass DFS)."""
+        needed = request.max_count
+        if self.policy.needs_full_feasible:
+            feasible = [
+                c
+                for c in ordered
+                if self._vertex_fits(
+                    c.vertex, at, duration, exclusive, demand, tentative
+                )
+            ]
+            preference = self.policy.choose(feasible, needed, request) or []
+        else:
+            preference = ordered
+        selected = 0
+        used: set = set()
+        for candidate in preference:
+            if selected == needed:
+                break
+            vertex = candidate.vertex
+            if vertex.uniq_id in used:
+                continue
+            if not self._vertex_fits(
+                vertex, at, duration, exclusive, demand, tentative
+            ):
+                continue
+            mark = tentative.mark()
+            length = len(out)
+            amount = vertex.size if exclusive else 0
+            tentative.add_qty(vertex.uniq_id, amount)
+            tentative.add_x(vertex.uniq_id, X_LIMIT if exclusive else 1)
+            out.append(Selection(vertex, amount, exclusive))
+            self._book_passthrough(candidate.via, at, duration, tentative, out)
+            if request.with_ and not self._match_requests(
+                vertex, list(request.with_), at, duration, exclusive, tentative, out
+            ):
+                tentative.rollback(mark)
+                del out[length:]
+                continue
+            used.add(vertex.uniq_id)
+            selected += 1
+        return selected >= request.count
+
+    # ------------------------------------------------------------------
+    # candidate collection and feasibility
+    # ------------------------------------------------------------------
+    def _collect(
+        self,
+        parent: Optional[ResourceVertex],
+        request: ResourceRequest,
+        at: Optional[int],
+        duration: int,
+        tentative: _Tentative,
+        demand: Dict[str, int],
+    ) -> List[Candidate]:
+        """Gather candidate vertices of ``request.type`` reachable from
+        ``parent`` (or the subsystem roots), pruning infeasible subtrees."""
+        rtype = request.type
+        predicate = (
+            _compiled_requires(request.requires)
+            if request.requires is not None
+            else None
+        )
+        graph = self.graph
+        if parent is None:
+            frontier = [(root, ()) for root in graph.roots(self.subsystem)]
+        else:
+            frontier = [
+                (child, ())
+                for child in graph.children_tuple(parent, self.subsystem)
+            ]
+        # demand as seen from an interior vertex: one candidate + its subtree
+        interior_demand = dict(demand)
+        interior_demand[rtype] = interior_demand.get(rtype, 0) + 1
+        stack = frontier[::-1]
+        visited: set = set()
+        results: List[Candidate] = []
+        while stack:
+            vertex, via = stack.pop()
+            uid = vertex.uniq_id
+            if uid in visited:
+                continue
+            visited.add(uid)
+            self.stats["visits"] += 1
+            if vertex.status != "up":
+                continue  # drained vertices close their whole subtree
+            if vertex.type == rtype:
+                if predicate is None or predicate(vertex):
+                    results.append(Candidate(vertex, via))
+                continue
+            if at is not None:
+                # Exclusively-held vertices close their whole subtree (§3.4).
+                if (
+                    self._avail_x(vertex, at, duration)
+                    - tentative.x.get(uid, 0)
+                    < 1
+                ):
+                    continue
+                if self.prune and vertex.prune_filters is not None:
+                    filters = vertex.prune_filters
+                    tracked = {
+                        t: n
+                        for t, n in interior_demand.items()
+                        if n and filters.tracks(t)
+                    }
+                    if tracked and not filters.avail_during(at, duration, tracked):
+                        continue
+            children = graph.children_tuple(vertex, self.subsystem)
+            next_via = via + (vertex,)
+            for child in reversed(children):
+                if child.uniq_id not in visited:
+                    stack.append((child, next_via))
+        return results
+
+    def _vertex_fits(
+        self,
+        vertex: ResourceVertex,
+        at: Optional[int],
+        duration: int,
+        exclusive: bool,
+        demand: Dict[str, int],
+        tentative: _Tentative,
+    ) -> bool:
+        uid = vertex.uniq_id
+        if exclusive:
+            avail = self._avail_qty(vertex, at, duration) - tentative.qty.get(uid, 0)
+            if avail < vertex.size:
+                return False
+            need_x = X_LIMIT
+        else:
+            need_x = 1
+        if self._avail_x(vertex, at, duration) - tentative.x.get(uid, 0) < need_x:
+            return False
+        if (
+            self.prune
+            and at is not None
+            and demand
+            and vertex.prune_filters is not None
+        ):
+            filters = vertex.prune_filters
+            tracked = {t: n for t, n in demand.items() if n and filters.tracks(t)}
+            if tracked and not filters.avail_during(at, duration, tracked):
+                return False
+        return True
+
+    def _book_passthrough(
+        self,
+        via: Tuple[ResourceVertex, ...],
+        at: Optional[int],
+        duration: int,
+        tentative: _Tentative,
+        out: List[Selection],
+    ) -> None:
+        """Record shared pass-through holds on interior vertices once each."""
+        for vertex in via:
+            if tentative.add_passthrough(vertex.uniq_id):
+                tentative.add_x(vertex.uniq_id, 1)
+                out.append(Selection(vertex, 0, False, passthrough=True))
+
+    def _avail_qty(self, vertex: ResourceVertex, at: Optional[int], duration: int) -> int:
+        if at is None:
+            return vertex.size
+        return vertex.plans.avail_resources_during(at, duration)
+
+    def _avail_x(self, vertex: ResourceVertex, at: Optional[int], duration: int) -> int:
+        if at is None:
+            return X_LIMIT
+        return vertex.xplans.avail_resources_during(at, duration)
+
+    @staticmethod
+    def _unit_demand(request: ResourceRequest) -> Dict[str, int]:
+        """Per-instance subtree demand of ``request`` (excluding itself)."""
+        demand: Dict[str, int] = {}
+
+        def accumulate(req: ResourceRequest, multiplier: int) -> None:
+            if not req.is_slot:
+                demand[req.type] = demand.get(req.type, 0) + multiplier * req.count
+            for child in req.with_:
+                accumulate(child, multiplier * req.count)
+
+        for child in request.with_:
+            accumulate(child, 1)
+        return demand
+
+    # ------------------------------------------------------------------
+    # booking and SDFU
+    # ------------------------------------------------------------------
+    def _book(
+        self, selections: List[Selection], at: int, duration: int, reserved: bool
+    ) -> Allocation:
+        records: List[Tuple[object, int]] = []
+        for sel in selections:
+            vertex = sel.vertex
+            if sel.amount:
+                records.append(
+                    (vertex.plans, vertex.plans.add_span(at, duration, sel.amount))
+                )
+            level = X_LIMIT if sel.exclusive else 1
+            records.append(
+                (vertex.xplans, vertex.xplans.add_span(at, duration, level))
+            )
+        self._sdfu(selections, at, duration, records)
+        alloc = Allocation(
+            alloc_id=self._next_alloc_id,
+            at=at,
+            duration=duration,
+            reserved=reserved,
+            selections=selections,
+            _span_records=records,
+        )
+        self._next_alloc_id += 1
+        self.allocations[alloc.alloc_id] = alloc
+        return alloc
+
+    def _sdfu(
+        self,
+        selections: List[Selection],
+        at: int,
+        duration: int,
+        records: List[Tuple[object, int]],
+    ) -> None:
+        """Scheduler-Driven Filter Update (§3.4, Fig. 2).
+
+        Book the selected amounts into the pruning filters of every ancestor
+        along the selected paths, walking up only from what was chosen —
+        never recomputing aggregates from the whole graph.  Exclusive
+        selections additionally charge their full subtree totals (minus any
+        explicitly selected descendants) so filters reflect that the subtree
+        is closed to other jobs.
+        """
+        prune_types = set(self.graph.prune_types)
+        if not prune_types:
+            return
+        updates: Dict[int, Dict[str, int]] = {}
+
+        def charge(vertex: ResourceVertex, counts: Dict[str, int]) -> None:
+            for anc in self.graph.ancestors(vertex, self.subsystem):
+                filters = anc.prune_filters
+                if filters is None:
+                    continue
+                bucket = updates.setdefault(anc.uniq_id, {})
+                for rtype, qty in counts.items():
+                    if filters.tracks(rtype):
+                        bucket[rtype] = bucket.get(rtype, 0) + qty
+
+        explicit = [s for s in selections if not s.passthrough and s.amount]
+        for sel in explicit:
+            if sel.type in prune_types:
+                charge(sel.vertex, {sel.type: sel.amount})
+        # Exclusive subtree extras: a top-level exclusive hold consumes its
+        # whole subtree, so charge subtree totals minus explicit bookings.
+        exclusive_tops = self._exclusive_tops(selections)
+        for sel in exclusive_tops:
+            vertex = sel.vertex
+            prefix = vertex.path(self.subsystem) + "/"
+            extras = {
+                t: n
+                for t, n in self.graph.subtree_totals(vertex, self.subsystem).items()
+                if t in prune_types
+            }
+            extras[vertex.type] = extras.get(vertex.type, 0) - vertex.size
+            for other in explicit:
+                if other.vertex is vertex:
+                    continue
+                if other.vertex.path(self.subsystem).startswith(prefix):
+                    if other.type in extras:
+                        extras[other.type] -= other.amount
+            extras = {t: n for t, n in extras.items() if n > 0}
+            if not extras:
+                continue
+            own = vertex.prune_filters
+            if own is not None:
+                bucket = updates.setdefault(vertex.uniq_id, {})
+                for rtype, qty in extras.items():
+                    if own.tracks(rtype):
+                        bucket[rtype] = bucket.get(rtype, 0) + qty
+            charge(vertex, extras)
+        for uid, counts in updates.items():
+            counts = {t: n for t, n in counts.items() if n > 0}
+            if not counts:
+                continue
+            filters = self.graph.vertex(uid).prune_filters
+            records.append((filters, filters.add_span(at, duration, counts)))
+
+    def _exclusive_tops(self, selections: List[Selection]) -> List[Selection]:
+        """Exclusive selections not nested under another exclusive selection."""
+        exclusive = [s for s in selections if s.exclusive and not s.passthrough]
+        paths = [s.vertex.path(self.subsystem) for s in exclusive]
+        tops = []
+        for sel, path in zip(exclusive, paths):
+            nested = any(
+                other is not sel and path.startswith(other_path + "/")
+                for other, other_path in zip(exclusive, paths)
+            )
+            if not nested:
+                tops.append(sel)
+        return tops

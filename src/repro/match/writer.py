@@ -1,0 +1,162 @@
+"""Match writers: the selected resource set a match emits (paper §3.2 step 7).
+
+A successful traversal produces an :class:`Allocation` — the best-matching
+resource subgraph with per-vertex amounts and exclusivity — which the
+underlying resource manager uses to contain, bind and execute the job.  The
+``to_rlite`` form mirrors Flux's R-lite allocation documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..resource import ResourceVertex
+
+__all__ = ["Selection", "Allocation"]
+
+
+@dataclass(frozen=True)
+class Selection:
+    """One vertex's contribution to an allocation.
+
+    ``amount`` is the pool quantity taken (0 for shared pass-through
+    vertices, which participate only for exclusivity tracking); ``exclusive``
+    marks a whole-pool exclusive hold; ``passthrough`` marks interior
+    vertices on the path between the request level and the selected
+    resources.
+    """
+
+    vertex: ResourceVertex
+    amount: int
+    exclusive: bool = False
+    passthrough: bool = False
+
+    @property
+    def type(self) -> str:
+        return self.vertex.type
+
+
+@dataclass
+class Allocation:
+    """A booked (or reserved) resource set.
+
+    Attributes
+    ----------
+    alloc_id:
+        Traverser-unique id; pass to ``Traverser.remove`` to free.
+    at, duration:
+        The booked window ``[at, at + duration)``.
+    reserved:
+        True when the allocation starts in the future (a reservation made by
+        ``allocate_orelse_reserve``).
+    selections:
+        Every vertex booked, including shared pass-through vertices.
+    """
+
+    alloc_id: int
+    at: int
+    duration: int
+    reserved: bool
+    selections: List[Selection]
+    #: (planner-like object, span id) pairs to undo on removal; planner-like
+    #: is a Planner (vertex plans/xplans) or PlannerMulti (pruning filter).
+    _span_records: List[Tuple[object, int]] = field(default_factory=list, repr=False)
+
+    @property
+    def end(self) -> int:
+        return self.at + self.duration
+
+    def resources(self) -> List[Selection]:
+        """Selections that carry actual resources (non-pass-through)."""
+        return [s for s in self.selections if not s.passthrough]
+
+    def vertices_of_type(self, rtype: str) -> List[ResourceVertex]:
+        """Selected (non-pass-through) vertices of ``rtype``."""
+        return [s.vertex for s in self.selections if not s.passthrough and s.type == rtype]
+
+    def nodes(self) -> List[ResourceVertex]:
+        """Convenience: selected compute nodes."""
+        return self.vertices_of_type("node")
+
+    def amount_of(self, rtype: str) -> int:
+        """Total quantity of ``rtype`` in the allocation."""
+        return sum(
+            s.amount for s in self.selections if not s.passthrough and s.type == rtype
+        )
+
+    def to_rlite(self) -> dict:
+        """R-lite-style document: per-path type/amount/exclusive entries."""
+        children = [
+            {
+                "path": s.vertex.path("containment"),
+                "type": s.type,
+                "count": s.amount,
+                "exclusive": s.exclusive,
+            }
+            for s in self.selections
+            if not s.passthrough
+        ]
+        return {
+            "version": 1,
+            "execution": {
+                "starttime": self.at,
+                "expiration": self.end,
+                "reserved": self.reserved,
+            },
+            "resources": children,
+        }
+
+    def to_rv1(self) -> dict:
+        """R version-1 style document: R-lite resources plus a scheduling
+        section carrying the full per-vertex detail (Fluxion attaches its
+        scheduler-specific view under ``scheduling``)."""
+        rlite = self.to_rlite()
+        return {
+            "version": 1,
+            "execution": rlite["execution"],
+            "scheduling": {
+                "resources": [
+                    {
+                        "path": s.vertex.path("containment"),
+                        "type": s.type,
+                        "basename": s.vertex.basename,
+                        "id": s.vertex.id,
+                        "count": s.amount,
+                        "exclusive": s.exclusive,
+                        "passthrough": s.passthrough,
+                    }
+                    for s in self.selections
+                ],
+            },
+            "resources": rlite["resources"],
+        }
+
+    def to_pretty(self) -> str:
+        """Render the selected resource set as an indented tree (Fluxion's
+        "pretty" match writer): one line per selection, nested by containment
+        path, pass-through vertices shown without amounts."""
+        entries = sorted(
+            self.selections, key=lambda s: s.vertex.path("containment")
+        )
+        lines = []
+        for sel in entries:
+            path = sel.vertex.path("containment")
+            depth = max(path.count("/") - 1, 0)
+            indent = "  " * depth
+            if sel.passthrough:
+                lines.append(f"{indent}{sel.vertex.name}")
+            else:
+                marker = "!" if sel.exclusive else ""
+                amount = f"[{sel.amount}{sel.vertex.unit}]" if sel.amount else ""
+                lines.append(f"{indent}{sel.vertex.name}{marker}{amount}")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """One-line description, e.g. ``t=[0,3600) node0{core:10,memory:8}``."""
+        by_type: Dict[str, int] = {}
+        for s in self.resources():
+            by_type[s.type] = by_type.get(s.type, 0) + s.amount
+        body = ",".join(f"{t}:{n}" for t, n in sorted(by_type.items()))
+        flag = " reserved" if self.reserved else ""
+        return f"t=[{self.at},{self.end}){flag} {{{body}}}"

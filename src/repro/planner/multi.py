@@ -1,0 +1,230 @@
+"""PlannerMulti: joint time tracking for several resource types (paper §4.1).
+
+The paper's pruning filters keep "aggregate amounts of available lower-level
+resources" per high-level vertex; a filter tracks one Planner per tracked
+resource type and books/queries them together.  The root filter additionally
+drives reservation scheduling through ``avail_time_first`` — the paper's
+``PlannerMultiAvailTimeFirst`` — which iteratively advances a candidate time
+until every tracked type can satisfy its requested amount for the duration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..errors import PlannerError, SpanNotFoundError
+from .planner import Planner
+
+__all__ = ["PlannerMulti"]
+
+
+class PlannerMulti:
+    """A bundle of Planners, one per resource type, booked in lockstep.
+
+    Parameters
+    ----------
+    totals:
+        Mapping of resource type -> schedulable quantity.
+    plan_start, plan_end:
+        Shared planning horizon.
+    """
+
+    __slots__ = ("_planners", "plan_start", "plan_end", "_spans", "_next_span_id")
+
+    def __init__(
+        self,
+        totals: Mapping[str, int],
+        plan_start: int = 0,
+        plan_end: int = 2**62,
+    ) -> None:
+        self.plan_start = plan_start
+        self.plan_end = plan_end
+        self._planners: Dict[str, Planner] = {
+            rtype: Planner(total, plan_start, plan_end, resource_type=rtype)
+            for rtype, total in totals.items()
+        }
+        # span id -> {type: per-planner span id}
+        self._spans: Dict[int, Dict[str, int]] = {}
+        self._next_span_id = 1
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def types(self) -> Tuple[str, ...]:
+        """Tracked resource types, in insertion order."""
+        return tuple(self._planners)
+
+    def planner(self, rtype: str) -> Planner:
+        """Return the underlying Planner for ``rtype``."""
+        try:
+            return self._planners[rtype]
+        except KeyError:
+            raise PlannerError(f"untracked resource type: {rtype!r}") from None
+
+    def tracks(self, rtype: str) -> bool:
+        """True when this bundle tracks ``rtype``."""
+        return rtype in self._planners
+
+    def total(self, rtype: str) -> int:
+        return self.planner(rtype).total
+
+    def add_type(self, rtype: str, total: int) -> None:
+        """Start tracking a new resource type (used by elastic graph updates)."""
+        if rtype in self._planners:
+            raise PlannerError(f"type already tracked: {rtype!r}")
+        self._planners[rtype] = Planner(
+            total, self.plan_start, self.plan_end, resource_type=rtype
+        )
+
+    def resize(self, rtype: str, new_total: int) -> None:
+        """Adjust the schedulable total of one tracked type."""
+        self.planner(rtype).resize(new_total)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def avail_at(self, at: int, counts: Mapping[str, int]) -> bool:
+        """True when every requested type has its count available at ``at``.
+
+        Types absent from this bundle are ignored: a filter only prunes on
+        what it tracks (paper §3.4).
+        """
+        return all(
+            self._planners[rtype].avail_at(at, count)
+            for rtype, count in counts.items()
+            if rtype in self._planners and count
+        )
+
+    def avail_during(self, at: int, duration: int, counts: Mapping[str, int]) -> bool:
+        """True when every requested type stays available over the window."""
+        return all(
+            self._planners[rtype].avail_during(at, duration, count)
+            for rtype, count in counts.items()
+            if rtype in self._planners and count
+        )
+
+    def avail_resources_during(self, at: int, duration: int) -> Dict[str, int]:
+        """Minimum availability per tracked type over the window."""
+        return {
+            rtype: planner.avail_resources_during(at, duration)
+            for rtype, planner in self._planners.items()
+        }
+
+    def next_event_time(self, after: int) -> Optional[int]:
+        """Earliest time strictly after ``after`` at which any tracked
+        type's availability changes (None when nothing changes again)."""
+        events = [
+            t
+            for t in (
+                planner.next_event_time(after)
+                for planner in self._planners.values()
+            )
+            if t is not None
+        ]
+        return min(events) if events else None
+
+    def avail_time_first(
+        self,
+        counts: Mapping[str, int],
+        duration: int = 1,
+        on_or_after: int = 0,
+    ) -> Optional[int]:
+        """Earliest time every requested type is simultaneously available
+        for ``duration`` ticks (PlannerMultiAvailTimeFirst), or None.
+
+        Starting from ``on_or_after``, each tracked type proposes its own
+        earliest fit; whenever a type pushes the candidate later, the scan
+        restarts from the pushed time.  The candidate advances monotonically
+        so the loop terminates (it is bounded by the number of scheduled
+        points across the bundle).
+        """
+        relevant = [
+            (rtype, count)
+            for rtype, count in counts.items()
+            if rtype in self._planners and count
+        ]
+        at = max(on_or_after, self.plan_start)
+        if not relevant:
+            return at if at + duration <= self.plan_end else None
+        while True:
+            moved = False
+            for rtype, count in relevant:
+                t = self._planners[rtype].avail_time_first(count, duration, at)
+                if t is None:
+                    return None
+                if t > at:
+                    at = t
+                    moved = True
+            if not moved:
+                return at
+
+    # ------------------------------------------------------------------
+    # span mutation
+    # ------------------------------------------------------------------
+    def add_span(self, start: int, duration: int, counts: Mapping[str, int]) -> int:
+        """Book ``counts`` over ``[start, start + duration)`` across the bundle.
+
+        All-or-nothing: if any type cannot be booked, previously booked types
+        are rolled back and :class:`PlannerError` propagates.  Types absent
+        from the bundle are ignored; zero counts are skipped.
+        """
+        booked: Dict[str, int] = {}
+        try:
+            for rtype, count in counts.items():
+                if rtype in self._planners and count:
+                    booked[rtype] = self._planners[rtype].add_span(
+                        start, duration, count
+                    )
+        except PlannerError:
+            for rtype, sid in booked.items():
+                self._planners[rtype].rem_span(sid)
+            raise
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        self._spans[span_id] = booked
+        return span_id
+
+    def update_span_end(self, span_id: int, new_end: int) -> None:
+        """Move a bundle span's end across every booked type, all-or-nothing."""
+        try:
+            booked = self._spans[span_id]
+        except KeyError:
+            raise SpanNotFoundError(span_id) from None
+        done = []
+        try:
+            for rtype, sid in booked.items():
+                planner = self._planners[rtype]
+                old_end = planner.get_span(sid).end
+                planner.update_span_end(sid, new_end)
+                done.append((planner, sid, old_end))
+        except PlannerError:
+            for planner, sid, old_end in done:
+                planner.update_span_end(sid, old_end)
+            raise
+
+    def rem_span(self, span_id: int) -> None:
+        """Release a bundle span previously returned by :meth:`add_span`."""
+        try:
+            booked = self._spans.pop(span_id)
+        except KeyError:
+            raise SpanNotFoundError(span_id) from None
+        for rtype, sid in booked.items():
+            self._planners[rtype].rem_span(sid)
+
+    def reset(self) -> None:
+        """Drop all bundle spans."""
+        for span_id in list(self._spans):
+            self.rem_span(span_id)
+
+    @property
+    def span_count(self) -> int:
+        return len(self._spans)
+
+    def check_invariants(self) -> None:
+        for planner in self._planners.values():
+            planner.check_invariants()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        totals = {t: p.total for t, p in self._planners.items()}
+        return f"PlannerMulti({totals}, spans={len(self._spans)})"

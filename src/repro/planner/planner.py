@@ -1,0 +1,442 @@
+"""Planner: scalable scheduled-time-point management (paper §4.1, Fig. 3).
+
+A Planner tracks the state of a single resource pool over time, like a
+physical calendar planner.  Activities are *spans* — ``request`` units of the
+resource held for ``[start, start + duration)`` — and the state between spans
+is captured by *scheduled points*.  Two balanced trees index the points:
+
+* the SP tree (by time) answers "how much is available at time t?" and
+  "is the request satisfiable throughout a window?" in ``O(log N)``;
+* the ET tree (by remaining resource, min-time augmented) answers "what is
+  the earliest time the request fits?" in ``O(log N)`` via Algorithm 1.
+
+The Planner is the building block for per-vertex state tracking, pruning
+filters (through :class:`~repro.planner.multi.PlannerMulti`) and
+reservation-based backfilling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import PlannerError, SpanNotFoundError
+from .span import ScheduledPoint, Span
+from .trees import ETTree, SPTree
+
+__all__ = ["Planner"]
+
+
+class Planner:
+    """Time-state tracker for one resource pool.
+
+    Parameters
+    ----------
+    total:
+        Schedulable quantity of the pool (e.g. 8 memory units, 48 cores,
+        or 1 for a singleton resource).
+    plan_start, plan_end:
+        The planning horizon ``[plan_start, plan_end)`` in integer ticks.
+    resource_type:
+        Informational label (e.g. ``"core"``); used in error messages and by
+        :class:`~repro.planner.multi.PlannerMulti`.
+    """
+
+    __slots__ = (
+        "total",
+        "plan_start",
+        "plan_end",
+        "resource_type",
+        "_sp",
+        "_et",
+        "_spans",
+        "_next_span_id",
+        "_base_point",
+    )
+
+    def __init__(
+        self,
+        total: int,
+        plan_start: int = 0,
+        plan_end: int = 2**62,
+        resource_type: str = "",
+    ) -> None:
+        if total < 0:
+            raise PlannerError(f"total must be non-negative, got {total}")
+        if plan_end <= plan_start:
+            raise PlannerError(
+                f"empty planning horizon: [{plan_start}, {plan_end})"
+            )
+        self.total = total
+        self.plan_start = plan_start
+        self.plan_end = plan_end
+        self.resource_type = resource_type
+        # The trees and base point are created lazily on the first add_span:
+        # resource graphs hold two Planners per vertex and most vertices are
+        # never touched, so an empty Planner stays a tiny shell and answers
+        # queries directly from `total`.
+        self._sp: Optional[SPTree] = None
+        self._et: Optional[ETTree] = None
+        self._spans: Dict[int, Span] = {}
+        self._next_span_id = 1
+        self._base_point: Optional[ScheduledPoint] = None
+
+    def _ensure_trees(self) -> None:
+        """Materialise the SP/ET trees and the permanent base point."""
+        if self._sp is not None:
+            return
+        self._sp = SPTree()
+        self._et = ETTree()
+        # Permanent base point: the state from plan_start until the first span.
+        self._base_point = ScheduledPoint(self.plan_start, 0, self.total, ref_count=1)
+        self._sp.insert(self._base_point)
+        self._et.insert(self._base_point)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of active spans."""
+        return len(self._spans)
+
+    @property
+    def span_count(self) -> int:
+        """Number of active spans."""
+        return len(self._spans)
+
+    @property
+    def point_count(self) -> int:
+        """Number of scheduled points currently indexed (including base)."""
+        return 1 if self._sp is None else len(self._sp)
+
+    def spans(self) -> Iterator[Span]:
+        """Iterate over active spans (unordered)."""
+        return iter(self._spans.values())
+
+    def get_span(self, span_id: int) -> Span:
+        """Return the span with ``span_id``; raise SpanNotFoundError if absent."""
+        try:
+            return self._spans[span_id]
+        except KeyError:
+            raise SpanNotFoundError(span_id) from None
+
+    # ------------------------------------------------------------------
+    # availability queries
+    # ------------------------------------------------------------------
+    def avail_resources_at(self, at: int) -> int:
+        """Resource units available at instant ``at``."""
+        self._check_time(at)
+        if self._sp is None:
+            return self.total
+        point = self._sp.state_at(at)
+        assert point is not None  # base point guarantees coverage
+        return point.remaining
+
+    def avail_at(self, at: int, request: int) -> bool:
+        """True when ``request`` units are available at instant ``at`` (SatAt)."""
+        return self.avail_resources_at(at) >= request
+
+    def avail_resources_during(self, at: int, duration: int) -> int:
+        """Minimum availability over the window ``[at, at + duration)``."""
+        self._check_window(at, duration)
+        if self._sp is None:
+            return self.total
+        governing = self._sp.state_at(at)
+        assert governing is not None
+        lowest = governing.remaining
+        for point in self._sp.iter_range(at + 1, at + duration):
+            if point.remaining < lowest:
+                lowest = point.remaining
+        return lowest
+
+    def avail_during(self, at: int, duration: int, request: int) -> bool:
+        """True when ``request`` units stay available over the whole window
+        ``[at, at + duration)`` (SatDuring / the paper's SPANOK check).
+
+        Short-circuits at the first scheduled point that under-satisfies the
+        request, so rejections are cheap.
+        """
+        self._check_window(at, duration)
+        if self._sp is None:
+            return request <= self.total
+        governing = self._sp.state_at(at)
+        assert governing is not None
+        if governing.remaining < request:
+            return False
+        for point in self._sp.iter_range(at + 1, at + duration):
+            if point.remaining < request:
+                return False
+        return True
+
+    def next_event_time(self, after: int) -> Optional[int]:
+        """Earliest scheduled-point time strictly after ``after`` (or None).
+
+        Availability can only change at scheduled points, so this is the
+        next instant any time-based query could return a different answer.
+        """
+        if self._sp is None:
+            return None
+        point = self._sp.first_at_or_after(after + 1)
+        return None if point is None else point.time
+
+    def avail_time_first(
+        self, request: int, duration: int = 1, on_or_after: int = 0
+    ) -> Optional[int]:
+        """Earliest time >= ``on_or_after`` at which ``request`` units are
+        available for ``duration`` ticks (EarliestAt), or None if never.
+
+        Implements the paper's AVAILAT loop: candidate start times come from
+        the ET tree (Algorithm 1); candidates whose spans fail the SP-tree
+        SPANOK check are stashed out of the ET tree and the search repeats,
+        then the stash is restored.
+        """
+        if request > self.total:
+            return None
+        at = max(on_or_after, self.plan_start)
+        if at + duration > self.plan_end:
+            return None
+        if self._sp is None:
+            return at
+        # The availability profile only changes at scheduled points, so the
+        # earliest fit starts either exactly at `at` or at a later point.
+        if self.avail_during(at, duration, request):
+            return at
+        stash: List[ScheduledPoint] = []
+        result: Optional[int] = None
+        try:
+            while True:
+                point = self._et.find_earliest(request)
+                if point is None:
+                    break
+                self._et.remove(point)
+                stash.append(point)
+                if point.time <= at:
+                    continue
+                if point.time + duration > self.plan_end:
+                    continue
+                if self.avail_during(point.time, duration, request):
+                    result = point.time
+                    break
+        finally:
+            for point in stash:
+                self._et.insert(point)
+        return result
+
+    # ------------------------------------------------------------------
+    # span mutation
+    # ------------------------------------------------------------------
+    def add_span(
+        self,
+        start: int,
+        duration: int,
+        request: int,
+        metadata: Optional[dict] = None,
+    ) -> int:
+        """Book ``request`` units over ``[start, start + duration)``.
+
+        Returns the new span id.  Raises :class:`PlannerError` when the span
+        falls outside the horizon, the request exceeds the pool, or the
+        request is not available throughout the window (the Planner never
+        lets a pool go negative).
+        """
+        self._check_window(start, duration)
+        if request < 0:
+            raise PlannerError(f"negative request: {request}")
+        if request > self.total:
+            raise PlannerError(
+                f"request {request} exceeds pool total {self.total}"
+                f" ({self.resource_type or 'resource'})"
+            )
+        if not self.avail_during(start, duration, request):
+            raise PlannerError(
+                f"request {request}x[{start},{start + duration}) unavailable"
+                f" ({self.resource_type or 'resource'})"
+            )
+        self._ensure_trees()
+        end = start + duration
+        start_point = self._get_or_create_point(start)
+        end_point = self._get_or_create_point(end)
+        start_point.ref_count += 1
+        end_point.ref_count += 1
+        if request:
+            for point in list(self._sp.iter_range(start, end)):
+                self._et.remove(point)
+                point.in_use += request
+                point.remaining -= request
+                self._et.insert(point)
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        self._spans[span_id] = Span(span_id, start, end, request, metadata or {})
+        return span_id
+
+    def rem_span(self, span_id: int) -> Span:
+        """Release the span with ``span_id`` and return it."""
+        span = self.get_span(span_id)
+        if span.request:
+            for point in list(self._sp.iter_range(span.start, span.end)):
+                self._et.remove(point)
+                point.in_use -= span.request
+                point.remaining += span.request
+                self._et.insert(point)
+        self._release_point(span.start)
+        self._release_point(span.end)
+        del self._spans[span_id]
+        return span
+
+    def update_span_end(self, span_id: int, new_end: int) -> Span:
+        """Move a span's end to ``new_end`` (extend or truncate), keeping its id.
+
+        Extension checks that the request stays available over the added
+        segment; truncation releases the tail immediately.  Returns the
+        updated span record.  The span id and start are preserved, so
+        callers tracking (planner, span_id) pairs need no changes.
+        """
+        from dataclasses import replace as _replace
+
+        span = self.get_span(span_id)
+        if new_end == span.end:
+            return span
+        if new_end <= span.start:
+            raise PlannerError(
+                f"new end {new_end} not after span start {span.start}"
+            )
+        if new_end > self.plan_end:
+            raise PlannerError(
+                f"new end {new_end} exceeds horizon end {self.plan_end}"
+            )
+        request = span.request
+        if new_end > span.end:
+            # Extension: the added segment must have the request available.
+            if not self.avail_during(span.end, new_end - span.end, request):
+                raise PlannerError(
+                    f"extension [{span.end},{new_end}) unavailable"
+                    f" ({self.resource_type or 'resource'})"
+                )
+            new_point = self._get_or_create_point(new_end)
+            new_point.ref_count += 1
+            if request:
+                for point in list(self._sp.iter_range(span.end, new_end)):
+                    self._et.remove(point)
+                    point.in_use += request
+                    point.remaining -= request
+                    self._et.insert(point)
+        else:
+            # Truncation: release the tail [new_end, old_end).
+            new_point = self._get_or_create_point(new_end)
+            new_point.ref_count += 1
+            if request:
+                for point in list(self._sp.iter_range(new_end, span.end)):
+                    self._et.remove(point)
+                    point.in_use -= request
+                    point.remaining += request
+                    self._et.insert(point)
+        self._release_point(span.end)
+        updated = _replace(span, end=new_end)
+        self._spans[span_id] = updated
+        return updated
+
+    def reset(self) -> None:
+        """Drop all spans, returning the planner to its initial state."""
+        for span_id in list(self._spans):
+            self.rem_span(span_id)
+
+    def resize(self, new_total: int) -> None:
+        """Grow or shrink the pool's schedulable quantity (elasticity, §5.5).
+
+        Shrinking below the amount currently in use at any scheduled point
+        raises :class:`PlannerError` (existing bookings are never broken).
+        """
+        if new_total < 0:
+            raise PlannerError(f"total must be non-negative, got {new_total}")
+        delta = new_total - self.total
+        if delta == 0:
+            return
+        if self._sp is None:
+            self.total = new_total
+            return
+        if delta < 0:
+            for point in self._sp:
+                if point.in_use > new_total:
+                    raise PlannerError(
+                        f"cannot shrink to {new_total}: {point.in_use} in use"
+                        f" at t={point.time}"
+                    )
+        for point in list(self._sp):
+            self._et.remove(point)
+            point.remaining += delta
+            self._et.insert(point)
+        self.total = new_total
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _check_time(self, at: int) -> None:
+        if not (self.plan_start <= at < self.plan_end):
+            raise PlannerError(
+                f"time {at} outside horizon [{self.plan_start}, {self.plan_end})"
+            )
+
+    def _check_window(self, at: int, duration: int) -> None:
+        if duration <= 0:
+            raise PlannerError(f"duration must be positive, got {duration}")
+        self._check_time(at)
+        if at + duration > self.plan_end:
+            raise PlannerError(
+                f"window [{at}, {at + duration}) exceeds horizon end"
+                f" {self.plan_end}"
+            )
+
+    def _get_or_create_point(self, time: int) -> ScheduledPoint:
+        if time >= self.plan_end:
+            # A span may legitimately end exactly at the horizon; clamp the
+            # end point to the last representable tick state by creating it
+            # at plan_end (never iterated as part of any window).
+            existing = self._sp.get(time)
+            if existing is not None:
+                return existing
+        else:
+            existing = self._sp.get(time)
+            if existing is not None:
+                return existing
+        governing = self._sp.state_at(min(time, self.plan_end - 1))
+        assert governing is not None
+        point = ScheduledPoint(time, governing.in_use, governing.remaining)
+        self._sp.insert(point)
+        self._et.insert(point)
+        return point
+
+    def _release_point(self, time: int) -> None:
+        point = self._sp.get(time)
+        assert point is not None, f"missing scheduled point at t={time}"
+        point.ref_count -= 1
+        if point.ref_count == 0 and point is not self._base_point:
+            self._sp.remove(point)
+            self._et.remove(point)
+
+    def check_invariants(self) -> None:
+        """Verify tree invariants and point-state consistency (test support)."""
+        if self._sp is None:
+            assert not self._spans
+            return
+        self._sp.check_invariants()
+        self._et.check_invariants()
+        points = list(self._sp)
+        assert points and points[0] is self._base_point
+        # Recompute in_use at each point from the active spans.
+        for point in points:
+            expected = sum(
+                s.request for s in self._spans.values()
+                if s.start <= point.time < s.end
+            )
+            assert point.in_use == expected, (
+                f"in_use mismatch at t={point.time}: "
+                f"{point.in_use} != {expected}"
+            )
+            assert point.remaining == self.total - point.in_use
+            assert 0 <= point.in_use <= self.total
+        assert len(self._sp) == len(self._et)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Planner(total={self.total}, type={self.resource_type!r}, "
+            f"spans={len(self._spans)}, points={self.point_count})"
+        )

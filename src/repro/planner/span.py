@@ -1,0 +1,71 @@
+"""Scheduled points and spans — the Planner's time-line records (paper §4.1).
+
+A *span* marks an activity on the planner's calendar: ``request`` units of the
+resource are in use from ``start`` (inclusive) to ``end`` (exclusive).  Adding
+a span materialises two *scheduled points*, one at each boundary; every
+scheduled point records the amount of resource in use — and remaining — from
+its time until the next scheduled point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ScheduledPoint", "Span"]
+
+
+class ScheduledPoint:
+    """A time point at which the planner's resource state changes.
+
+    Attributes
+    ----------
+    time:
+        The scheduled time (integer ticks).
+    in_use:
+        Resource units allocated during ``[time, next_point.time)``.
+    remaining:
+        Resource units still available during that interval
+        (``planner.total - in_use``).
+    ref_count:
+        Number of spans whose start or end boundary is this point.  A point
+        whose ref count drops to zero carries no information (its state equals
+        its predecessor's) and is removed from both trees.
+    """
+
+    __slots__ = ("time", "in_use", "remaining", "ref_count")
+
+    def __init__(self, time: int, in_use: int, remaining: int, ref_count: int = 0):
+        self.time = time
+        self.in_use = in_use
+        self.remaining = remaining
+        self.ref_count = ref_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ScheduledPoint(t={self.time}, in_use={self.in_use}, "
+            f"remaining={self.remaining}, refs={self.ref_count})"
+        )
+
+
+@dataclass(frozen=True)
+class Span:
+    """An allocation of ``request`` units over ``[start, end)``.
+
+    Spans are identified by the integer ``span_id`` the Planner hands back
+    from :meth:`~repro.planner.Planner.add_span`.
+    """
+
+    span_id: int
+    start: int
+    end: int
+    request: int
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def duration(self) -> int:
+        """Length of the span in ticks."""
+        return self.end - self.start
+
+    def overlaps(self, at: int, duration: int = 1) -> bool:
+        """True when this span intersects the half-open window [at, at+duration)."""
+        return self.start < at + duration and at < self.end

@@ -1,0 +1,173 @@
+"""The Planner's two index trees (paper §4.1).
+
+* :class:`SPTree` — the *scheduled-point* tree, keyed by time.  Supports the
+  ``O(log N)`` time-based queries: the state at time *t* (floor search) and
+  in-order iteration over later points.
+* :class:`ETTree` — the *earliest-time* resource-augmented tree, keyed by
+  ``(remaining, time)`` and augmented with the minimum scheduled time of each
+  subtree.  Implements the paper's Algorithm 1 (``FINDEARLIESTAT``): find the
+  earliest scheduled point whose remaining resource satisfies a request.
+
+Both are thin, purpose-specific wrappers over :class:`~repro.planner.rbtree.RBTree`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .rbtree import RBNode, RBTree
+from .span import ScheduledPoint
+
+__all__ = ["SPTree", "ETTree"]
+
+
+class SPTree:
+    """Scheduled-point tree: maps time -> :class:`ScheduledPoint`."""
+
+    __slots__ = ("_tree",)
+
+    def __init__(self) -> None:
+        self._tree = RBTree()
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def insert(self, point: ScheduledPoint) -> None:
+        """Insert ``point``; a point must be unique in time."""
+        self._tree.insert(point.time, point)
+
+    def remove(self, point: ScheduledPoint) -> None:
+        """Remove the point scheduled at ``point.time``."""
+        self._tree.delete(point.time)
+
+    def get(self, time: int) -> Optional[ScheduledPoint]:
+        """Return the point scheduled exactly at ``time``, or None."""
+        node = self._tree.find(time)
+        return None if node is None else node.value
+
+    def state_at(self, time: int) -> Optional[ScheduledPoint]:
+        """Return the point governing ``time`` (largest point time <= time)."""
+        node = self._tree.floor(time)
+        return None if node is None else node.value
+
+    def first_at_or_after(self, time: int) -> Optional[ScheduledPoint]:
+        """Return the earliest point with time >= ``time``, or None."""
+        node = self._tree.ceiling(time)
+        return None if node is None else node.value
+
+    def iter_from(self, time: int) -> Iterator[ScheduledPoint]:
+        """Yield points in time order starting at the first point >= ``time``."""
+        node = self._tree.ceiling(time)
+        while node is not None:
+            yield node.value
+            node = self._tree.successor(node)
+
+    def iter_range(self, start: int, end: int) -> Iterator[ScheduledPoint]:
+        """Yield points with start <= time < end, in time order."""
+        node = self._tree.ceiling(start)
+        while node is not None and node.key < end:
+            yield node.value
+            node = self._tree.successor(node)
+
+    def __iter__(self) -> Iterator[ScheduledPoint]:
+        for node in self._tree:
+            yield node.value
+
+    def check_invariants(self) -> None:
+        self._tree.check_invariants()
+
+
+def _min_time_augment(node: RBNode) -> int:
+    """Earliest scheduled time within the subtree rooted at ``node``."""
+    best = node.value.time
+    left_aug = node.left.aug
+    if left_aug is not None and left_aug < best:
+        best = left_aug
+    right_aug = node.right.aug
+    if right_aug is not None and right_aug < best:
+        best = right_aug
+    return best
+
+
+class ETTree:
+    """Earliest-time resource-augmented tree (paper Algorithm 1).
+
+    Nodes are keyed by ``(remaining, time)`` so that a binary search on the
+    remaining-resource dimension is possible while keeping keys unique.  Each
+    node is augmented with the minimum ``time`` in its subtree, enabling the
+    ``RIGHTET`` step of Algorithm 1: once a node satisfies the request, the
+    node itself *and its entire right subtree* (which has >= remaining) are
+    feasible, and the earliest feasible time there is
+    ``min(node.time, right_subtree.min_time)``.
+    """
+
+    __slots__ = ("_tree",)
+
+    def __init__(self) -> None:
+        self._tree = RBTree(augment=_min_time_augment)
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    @staticmethod
+    def _key(point: ScheduledPoint) -> tuple:
+        return (point.remaining, point.time)
+
+    def insert(self, point: ScheduledPoint) -> None:
+        self._tree.insert(self._key(point), point)
+
+    def remove(self, point: ScheduledPoint) -> None:
+        """Remove ``point``; its ``remaining`` must match the value at insert time."""
+        self._tree.delete(self._key(point))
+
+    def find_earliest(self, request: int) -> Optional[ScheduledPoint]:
+        """Return the scheduled point with the earliest time among those whose
+        remaining resource satisfies ``request`` (Algorithm 1), or None.
+        """
+        tree = self._tree
+        nil = tree.nil
+        node = tree.root
+        earliest_at: Optional[int] = None
+        anchor: Optional[RBNode] = None
+        while node is not nil:
+            point: ScheduledPoint = node.value
+            if request <= point.remaining:
+                # This node and its whole right subtree satisfy the request.
+                right_earliest = point.time
+                if node.right is not nil and node.right.aug < right_earliest:
+                    right_earliest = node.right.aug
+                if earliest_at is None or right_earliest < earliest_at:
+                    earliest_at = right_earliest
+                    anchor = node
+                node = node.left
+            else:
+                node = node.right
+        if anchor is None:
+            return None
+        return self._find_et_point(anchor, earliest_at)
+
+    def _find_et_point(self, anchor: RBNode, earliest_at: int) -> ScheduledPoint:
+        """FINDETPOINT: locate the node with time == earliest_at under anchor.
+
+        The anchor's subtree min-time augmentation guides the descent so the
+        walk stays ``O(log N)``.
+        """
+        nil = self._tree.nil
+        node = anchor
+        while node is not nil:
+            if node.value.time == earliest_at:
+                return node.value
+            if node.left is not nil and node.left.aug == earliest_at:
+                node = node.left
+            else:
+                node = node.right
+        raise AssertionError(  # pragma: no cover - internal invariant
+            f"ET tree augmentation inconsistent: time {earliest_at} not found"
+        )
+
+    def __iter__(self) -> Iterator[ScheduledPoint]:
+        for node in self._tree:
+            yield node.value
+
+    def check_invariants(self) -> None:
+        self._tree.check_invariants()

@@ -1,0 +1,31 @@
+"""Resource graph store: pools-as-vertices, typed subsystem edges (paper §3)."""
+
+from .edge import CONTAINMENT, CONTAINS, IN, ResourceEdge
+from .expr import ExpressionError, compile_expression, find_by_expression
+from .graph import ResourceGraph, SubsystemView
+from .jgf import from_jgf, load_jgf, save_jgf, to_jgf
+from .lod import coarsen_pools, refine_pool
+from .types import DEFAULT_REGISTRY, ResourceTypeInfo, ResourceTypeRegistry
+from .vertex import ResourceVertex
+
+__all__ = [
+    "CONTAINMENT",
+    "ExpressionError",
+    "compile_expression",
+    "find_by_expression",
+    "coarsen_pools",
+    "from_jgf",
+    "load_jgf",
+    "save_jgf",
+    "refine_pool",
+    "to_jgf",
+    "CONTAINS",
+    "IN",
+    "ResourceEdge",
+    "ResourceGraph",
+    "SubsystemView",
+    "DEFAULT_REGISTRY",
+    "ResourceTypeInfo",
+    "ResourceTypeRegistry",
+    "ResourceVertex",
+]

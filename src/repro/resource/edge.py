@@ -1,0 +1,42 @@
+"""Resource-graph edges (paper §3.1).
+
+An edge is a *directed relationship* between two resource pools.  It carries
+a relationship ``type`` (``contains``, ``in``, ``conduit-of``, ...) and a
+``subsystem`` name (``containment``, ``power``, ``network``, ...).  The union
+of all edges sharing a subsystem name, plus the vertices they connect, forms
+that resource subsystem; the traverser and LOD filtering operate on one
+subsystem at a time (graph filtering, §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["ResourceEdge", "CONTAINMENT", "CONTAINS", "IN"]
+
+#: The default subsystem every graph starts with.
+CONTAINMENT = "containment"
+#: Downward relationship in the containment subsystem.
+CONTAINS = "contains"
+#: Upward relationship in the containment subsystem.
+IN = "in"
+
+
+@dataclass(frozen=True)
+class ResourceEdge:
+    """A directed, typed edge within one subsystem.
+
+    ``src`` and ``dst`` are vertex uniq_ids.  Edges are immutable; elasticity
+    removes and re-adds them.
+    """
+
+    src: int
+    dst: int
+    subsystem: str = CONTAINMENT
+    type: str = CONTAINS
+    properties: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def reversed(self, edge_type: str = IN) -> "ResourceEdge":
+        """Return the matching upward edge (dst -> src) of ``edge_type``."""
+        return ResourceEdge(self.dst, self.src, self.subsystem, edge_type)

@@ -1,0 +1,201 @@
+"""Expression-based vertex search (Fluxion's ``find`` criteria language).
+
+Fluxion's ``find`` verb filters resource vertices with boolean expressions
+(``status=up and type=node``).  This module provides the equivalent over our
+vertex attributes and free-form properties::
+
+    find_by_expression(graph, "type=node and perf_class>=3")
+    find_by_expression(graph, "(type=core or type=gpu) and not size>1")
+    find_by_expression(graph, "name='node7' or basename=rabbit")
+
+Grammar (recursive descent)::
+
+    expr    := or
+    or      := and ('or' and)*
+    and     := unary ('and' unary)*
+    unary   := 'not' unary | '(' expr ')' | comparison
+    compare := IDENT OP value          OP in  = != < <= > >=
+    value   := NUMBER | 'quoted' | bareword
+
+Identifiers resolve to vertex fields (``type``, ``basename``, ``name``,
+``id``, ``size``, ``unit``, ``rank``, ``status``) or, failing that, to entries of
+``vertex.properties``; a missing property makes its comparison False.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import ResourceGraphError
+from .graph import ResourceGraph
+from .vertex import ResourceVertex
+
+__all__ = ["compile_expression", "find_by_expression", "ExpressionError"]
+
+
+class ExpressionError(ResourceGraphError):
+    """Raised when a find expression cannot be parsed."""
+
+
+_FIELDS = ("type", "basename", "name", "id", "size", "unit", "rank", "status")
+
+_TOKEN_RE = re.compile(
+    r"""\s*(?:
+        (?P<lparen>\() |
+        (?P<rparen>\)) |
+        (?P<op><=|>=|!=|=|<|>) |
+        (?P<number>-?\d+(?:\.\d+)?) |
+        (?P<quoted>'[^']*'|"[^"]*") |
+        (?P<word>[A-Za-z_][A-Za-z0-9_\-./]*)
+    )""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            if text[pos:].strip():
+                raise ExpressionError(
+                    f"cannot tokenize expression at: {text[pos:]!r}"
+                )
+            break
+        pos = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)
+        tokens.append((kind, value))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]], text: str) -> None:
+        self.tokens = tokens
+        self.text = text
+        self.pos = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ExpressionError(f"unexpected end of expression: {self.text!r}")
+        self.pos += 1
+        return token
+
+    def parse(self) -> Callable[[ResourceVertex], bool]:
+        predicate = self.parse_or()
+        if self.peek() is not None:
+            raise ExpressionError(
+                f"trailing input in expression: {self.tokens[self.pos:]!r}"
+            )
+        return predicate
+
+    def parse_or(self):
+        left = self.parse_and()
+        while self.peek() == ("word", "or"):
+            self.next()
+            right = self.parse_and()
+            left = _or(left, right)
+        return left
+
+    def parse_and(self):
+        left = self.parse_unary()
+        while self.peek() == ("word", "and"):
+            self.next()
+            right = self.parse_unary()
+            left = _and(left, right)
+        return left
+
+    def parse_unary(self):
+        token = self.peek()
+        if token == ("word", "not"):
+            self.next()
+            inner = self.parse_unary()
+            return lambda v: not inner(v)
+        if token is not None and token[0] == "lparen":
+            self.next()
+            inner = self.parse_or()
+            closing = self.next()
+            if closing[0] != "rparen":
+                raise ExpressionError("expected ')'")
+            return inner
+        return self.parse_comparison()
+
+    def parse_comparison(self):
+        kind, key = self.next()
+        if kind != "word":
+            raise ExpressionError(f"expected identifier, got {key!r}")
+        op_kind, op = self.next()
+        if op_kind != "op":
+            raise ExpressionError(f"expected comparison operator after {key!r}")
+        value_kind, raw = self.next()
+        if value_kind == "number":
+            value: Any = float(raw) if "." in raw else int(raw)
+        elif value_kind == "quoted":
+            value = raw[1:-1]
+        elif value_kind == "word":
+            value = raw
+        else:
+            raise ExpressionError(f"expected value, got {raw!r}")
+        return _comparison(key, op, value)
+
+
+def _or(a, b):
+    return lambda v: a(v) or b(v)
+
+
+def _and(a, b):
+    return lambda v: a(v) and b(v)
+
+
+def _lookup(vertex: ResourceVertex, key: str):
+    if key in _FIELDS:
+        return getattr(vertex, key)
+    return vertex.properties.get(key)
+
+
+def _comparison(key: str, op: str, value: Any) -> Callable[[ResourceVertex], bool]:
+    def check(vertex: ResourceVertex) -> bool:
+        actual = _lookup(vertex, key)
+        if actual is None:
+            return op == "!="  # missing property equals nothing
+        lhs, rhs = actual, value
+        if isinstance(rhs, (int, float)) and not isinstance(lhs, (int, float)):
+            return op == "!="
+        if isinstance(rhs, str) and not isinstance(lhs, str):
+            lhs = str(lhs)
+        if op == "=":
+            return lhs == rhs
+        if op == "!=":
+            return lhs != rhs
+        try:
+            if op == "<":
+                return lhs < rhs
+            if op == "<=":
+                return lhs <= rhs
+            if op == ">":
+                return lhs > rhs
+            return lhs >= rhs
+        except TypeError:
+            return False
+
+    return check
+
+
+def compile_expression(text: str) -> Callable[[ResourceVertex], bool]:
+    """Compile a find expression into a vertex predicate."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ExpressionError("empty expression")
+    return _Parser(tokens, text).parse()
+
+
+def find_by_expression(graph: ResourceGraph, text: str) -> List[ResourceVertex]:
+    """Return all vertices of ``graph`` matching the expression."""
+    predicate = compile_expression(text)
+    return [vertex for vertex in graph.vertices() if predicate(vertex)]

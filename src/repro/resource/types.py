@@ -1,0 +1,102 @@
+"""Resource-type metadata registry.
+
+Resource types in the graph model are open-ended strings ("core", "gpu",
+"memory", "power", ...).  The registry attaches optional metadata — the unit
+a pool is counted in and whether the type is a *flow* resource (network
+bandwidth, power, I/O bandwidth), which the paper calls out as first-class
+citizens of the model (§1, §3.1).  Unknown types are always permitted; the
+registry is descriptive, not restrictive (universality, §3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["ResourceTypeInfo", "ResourceTypeRegistry", "DEFAULT_REGISTRY"]
+
+
+@dataclass(frozen=True)
+class ResourceTypeInfo:
+    """Metadata for one resource type."""
+
+    name: str
+    unit: str = ""
+    is_flow: bool = False
+    description: str = ""
+
+
+class ResourceTypeRegistry:
+    """A mutable mapping of type name -> :class:`ResourceTypeInfo`."""
+
+    def __init__(self) -> None:
+        self._types: Dict[str, ResourceTypeInfo] = {}
+
+    def register(
+        self,
+        name: str,
+        unit: str = "",
+        is_flow: bool = False,
+        description: str = "",
+    ) -> ResourceTypeInfo:
+        """Register (or re-register) a type and return its info record."""
+        info = ResourceTypeInfo(name, unit, is_flow, description)
+        self._types[name] = info
+        return info
+
+    def get(self, name: str) -> Optional[ResourceTypeInfo]:
+        """Return the info for ``name`` or None when unregistered."""
+        return self._types.get(name)
+
+    def unit(self, name: str) -> str:
+        """Return the default unit for ``name`` ('' when unknown)."""
+        info = self._types.get(name)
+        return info.unit if info else ""
+
+    def is_flow(self, name: str) -> bool:
+        """True when ``name`` is registered as a flow resource."""
+        info = self._types.get(name)
+        return bool(info and info.is_flow)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self):
+        return iter(self._types.values())
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+
+def _build_default() -> ResourceTypeRegistry:
+    reg = ResourceTypeRegistry()
+    for name, unit, is_flow, desc in [
+        ("cluster", "", False, "top-level system"),
+        ("rack", "", False, "compute rack / chassis"),
+        ("node", "", False, "compute node"),
+        ("socket", "", False, "processor socket"),
+        ("core", "", False, "CPU core"),
+        ("gpu", "", False, "GPU device"),
+        ("memory", "GB", False, "memory pool"),
+        ("ssd", "GB", False, "burst buffer / SSD storage"),
+        ("storage", "GB", False, "generic storage pool"),
+        ("pfs", "", False, "parallel file system"),
+        ("rabbit", "", False, "near-node-flash chassis controller (§5.1)"),
+        ("nvme_namespace", "", False, "NVMe namespace slot on a rabbit SSD"),
+        ("ip", "", False, "unique IP slot (one Lustre server per rabbit)"),
+        ("perf_class", "", False, "performance-class tag vertex (§5.2)"),
+        ("power", "W", True, "power budget (flow resource)"),
+        ("facility_power", "W", True, "facility-level power budget (flow)"),
+        ("bandwidth", "GB/s", True, "network bandwidth (flow resource)"),
+        ("io_bandwidth", "GB/s", True, "I/O bandwidth (flow resource)"),
+        ("switch", "", False, "network switch"),
+        ("core_switch", "", False, "IB core switch (Fig 1b)"),
+        ("edge_switch", "", False, "IB edge switch (Fig 1b)"),
+        ("slot", "", False, "jobspec task slot (non-physical)"),
+    ]:
+        reg.register(name, unit, is_flow, desc)
+    return reg
+
+
+#: Registry pre-populated with the types used across the paper's examples.
+DEFAULT_REGISTRY = _build_default()

@@ -1,0 +1,44 @@
+"""Scheduling framework: jobs, queue policies, simulator, elasticity, hierarchy."""
+
+from .capacity import CapacitySchedule, Outage
+from .elastic import grow, grow_job, resize_pool, shrink_job, shrink_subtree
+from .failures import affected_jobs, fail_vertex, repair_vertex
+from .hierarchy import Instance
+from .job import Job, JobState
+from .queue import (
+    QUEUE_POLICIES,
+    ConservativeBackfill,
+    EasyBackfill,
+    FCFSQueue,
+    QueuePolicy,
+    make_queue_policy,
+)
+from .simulator import ClusterSimulator, SimulationReport
+from .workflow import Task, Workflow, WorkflowResult
+
+__all__ = [
+    "CapacitySchedule",
+    "Outage",
+    "QUEUE_POLICIES",
+    "ClusterSimulator",
+    "ConservativeBackfill",
+    "EasyBackfill",
+    "FCFSQueue",
+    "Instance",
+    "Job",
+    "JobState",
+    "QueuePolicy",
+    "SimulationReport",
+    "Task",
+    "Workflow",
+    "WorkflowResult",
+    "affected_jobs",
+    "fail_vertex",
+    "grow",
+    "grow_job",
+    "make_queue_policy",
+    "repair_vertex",
+    "resize_pool",
+    "shrink_job",
+    "shrink_subtree",
+]

@@ -1,0 +1,78 @@
+"""Failure injection and recovery.
+
+Production resource managers must survive hardware failing under running
+jobs.  With the graph model, a failure is a drain (:meth:`mark_down
+<repro.resource.graph.ResourceGraph.mark_down>`) plus cleanup of the jobs
+that were touching the failed subtree:
+
+* :func:`fail_vertex` — mark a vertex down mid-simulation, cancel every
+  active job holding resources beneath it, and optionally resubmit those
+  jobs (they re-queue at the current time and get rescheduled onto healthy
+  resources by the normal cycle);
+* :func:`repair_vertex` — return the vertex to service.
+
+These work on a live :class:`~repro.sched.simulator.ClusterSimulator`
+without any special-casing in the scheduler itself — the traverser already
+skips down vertices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..resource import ResourceVertex
+from .job import Job, JobState
+from .simulator import ClusterSimulator
+
+__all__ = ["fail_vertex", "repair_vertex", "affected_jobs"]
+
+
+def affected_jobs(sim: ClusterSimulator, vertex: ResourceVertex) -> List[Job]:
+    """Active jobs holding any resource at or below ``vertex``."""
+    prefix = vertex.path("containment")
+    doomed = []
+    for job in sim.jobs.values():
+        if not job.is_active or not job.allocations:
+            continue
+        for alloc in job.allocations:
+            if any(
+                s.vertex is vertex
+                or s.vertex.path("containment").startswith(prefix + "/")
+                for s in alloc.selections
+            ):
+                doomed.append(job)
+                break
+    return doomed
+
+
+def fail_vertex(
+    sim: ClusterSimulator,
+    vertex: ResourceVertex,
+    resubmit: bool = True,
+) -> Tuple[List[Job], List[Job]]:
+    """Fail ``vertex`` (and implicitly its subtree) during a simulation.
+
+    Cancels every active job touching the subtree; with ``resubmit`` each
+    canceled job is resubmitted at the current simulation time (same
+    jobspec/priority) so the queue reschedules it on healthy resources.
+    Returns ``(canceled, resubmitted)`` job lists.
+    """
+    sim.graph.mark_down(vertex)
+    canceled = affected_jobs(sim, vertex)
+    resubmitted: List[Job] = []
+    for job in canceled:
+        sim.cancel(job)
+    if resubmit:
+        for job in canceled:
+            resubmitted.append(
+                sim.submit(job.jobspec, at=sim.now, name=f"{job.name}-retry",
+                           priority=job.priority)
+            )
+    return canceled, resubmitted
+
+
+def repair_vertex(sim: ClusterSimulator, vertex: ResourceVertex) -> None:
+    """Return a failed vertex to service and run a scheduling cycle so
+    pending work can use it immediately."""
+    sim.graph.mark_up(vertex)
+    sim._cycle()

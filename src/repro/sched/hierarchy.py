@@ -1,0 +1,211 @@
+"""Fully hierarchical scheduling (paper §5.6).
+
+Under the Flux design any instance can spawn child instances, granting each a
+subset of its jobs and resources; the parent-child relationship extends to
+arbitrary depth and width, enabling high throughput and per-child scheduler
+specialisation.
+
+Here an :class:`Instance` owns a resource graph and a traverser.  Spawning a
+child allocates the granted resources from the parent (an ordinary exclusive
+match), *clones* the granted subgraph into a fresh graph store, and hands
+that to the child — exactly the separation the paper describes: the child is
+a fully independent scheduler over its grant, and the parent sees the grant
+as one opaque allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import SchedulerError
+from ..jobspec import Jobspec
+from ..match import Allocation, MatchPolicy, Traverser
+from ..resource import ResourceGraph, ResourceVertex
+
+__all__ = ["Instance"]
+
+
+class Instance:
+    """One Flux-style scheduler instance over its own resource graph.
+
+    Parameters
+    ----------
+    graph:
+        The instance's resource graph (the root instance owns the real
+        system graph; children own grant clones).
+    match_policy:
+        Match policy for this instance's traverser — children may specialise
+        (§5.6: "customized scheduler specialization").
+    """
+
+    def __init__(
+        self,
+        graph: ResourceGraph,
+        match_policy: "MatchPolicy | str" = "first",
+        prune: bool = True,
+        name: str = "root",
+        parent: Optional["Instance"] = None,
+    ) -> None:
+        self.graph = graph
+        self.traverser = Traverser(graph, policy=match_policy, prune=prune)
+        self.name = name
+        self.parent = parent
+        self.children: List["Instance"] = []
+        #: child name -> the parent-side allocation backing the child's grant
+        self._grants: Dict[str, Allocation] = {}
+
+    @property
+    def depth(self) -> int:
+        """Root instance has depth 0."""
+        return 0 if self.parent is None else self.parent.depth + 1
+
+    # ------------------------------------------------------------------
+    # scheduling within this instance
+    # ------------------------------------------------------------------
+    def allocate(self, jobspec: Jobspec, at: int = 0) -> Optional[Allocation]:
+        """Allocate a job within this instance's resources."""
+        return self.traverser.allocate(jobspec, at=at)
+
+    def allocate_orelse_reserve(
+        self, jobspec: Jobspec, now: int = 0
+    ) -> Optional[Allocation]:
+        return self.traverser.allocate_orelse_reserve(jobspec, now=now)
+
+    def free(self, alloc_id: int) -> None:
+        self.traverser.remove(alloc_id)
+
+    # ------------------------------------------------------------------
+    # hierarchy management
+    # ------------------------------------------------------------------
+    def spawn_child(
+        self,
+        jobspec: Jobspec,
+        match_policy: "MatchPolicy | str" = "first",
+        name: str = "",
+        at: int = 0,
+    ) -> "Instance":
+        """Grant ``jobspec``'s resources to a new child instance.
+
+        The grant is allocated from this instance (so siblings cannot step on
+        it), cloned into a standalone graph, and returned wrapped in a child
+        :class:`Instance`.  Raises :class:`SchedulerError` when the grant does
+        not fit.
+        """
+        grant = self.traverser.allocate(jobspec, at=at)
+        if grant is None:
+            raise SchedulerError(
+                f"instance {self.name}: grant does not fit: {jobspec.summary()}"
+            )
+        child_name = name or f"{self.name}/{len(self.children)}"
+        child_graph = self._clone_grant(grant, child_name)
+        child = Instance(
+            child_graph,
+            match_policy=match_policy,
+            name=child_name,
+            parent=self,
+        )
+        self.children.append(child)
+        self._grants[child_name] = grant
+        return child
+
+    def shutdown_child(self, child: "Instance") -> None:
+        """Tear down ``child`` and return its grant to this instance."""
+        if child not in self.children:
+            raise SchedulerError(f"{child.name} is not a child of {self.name}")
+        for grandchild in list(child.children):
+            child.shutdown_child(grandchild)
+        grant = self._grants.pop(child.name)
+        self.traverser.remove(grant.alloc_id)
+        self.children.remove(child)
+        child.parent = None
+
+    def walk(self):
+        """Yield this instance and all descendants (pre-order)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    # ------------------------------------------------------------------
+    # grant cloning
+    # ------------------------------------------------------------------
+    def _clone_grant(self, grant: Allocation, child_name: str) -> ResourceGraph:
+        """Build a fresh graph containing the granted resources.
+
+        Exclusive selections bring their whole subtree; shared/partial pool
+        selections are cloned at the granted quantity.  Interior structure
+        (racks etc.) is recreated as scaffolding so locality-aware policies
+        keep working in the child.
+        """
+        parent_graph = self.graph
+        clone = ResourceGraph(
+            parent_graph.plan_start, parent_graph.plan_end, parent_graph.registry
+        )
+        root = clone.add_vertex("cluster", basename=child_name.replace("/", "_"))
+        scaffold: Dict[int, ResourceVertex] = {}
+
+        def scaffold_for(vertex: ResourceVertex) -> ResourceVertex:
+            """Clone (memoised) the ancestor chain of ``vertex`` below root."""
+            chain: List[ResourceVertex] = []
+            current = vertex
+            while True:
+                parents = parent_graph.parents(current)
+                if not parents:
+                    break
+                current = parents[0]
+                chain.append(current)
+            anchor = root
+            for ancestor in reversed(chain[:-1]):  # skip the original root
+                copy = scaffold.get(ancestor.uniq_id)
+                if copy is None:
+                    copy = clone.add_vertex(
+                        ancestor.type,
+                        basename=ancestor.basename,
+                        id=ancestor.id,
+                        size=ancestor.size,
+                        unit=ancestor.unit,
+                        properties=ancestor.properties,
+                    )
+                    clone.add_edge(anchor, copy)
+                    scaffold[ancestor.uniq_id] = copy
+                anchor = copy
+            return anchor
+
+        def deep_copy(vertex: ResourceVertex, parent_copy: ResourceVertex) -> None:
+            copy = clone.add_vertex(
+                vertex.type,
+                basename=vertex.basename,
+                id=vertex.id,
+                size=vertex.size,
+                unit=vertex.unit,
+                properties=vertex.properties,
+            )
+            clone.add_edge(parent_copy, copy)
+            scaffold[vertex.uniq_id] = copy
+            for child in parent_graph.children(vertex):
+                deep_copy(child, copy)
+
+        for selection in grant.resources():
+            anchor = scaffold_for(selection.vertex)
+            if selection.exclusive:
+                deep_copy(selection.vertex, anchor)
+            else:
+                partial = clone.add_vertex(
+                    selection.vertex.type,
+                    basename=selection.vertex.basename,
+                    id=selection.vertex.id,
+                    size=selection.amount or selection.vertex.size,
+                    unit=selection.vertex.unit,
+                    properties=selection.vertex.properties,
+                )
+                clone.add_edge(anchor, partial)
+        if parent_graph.prune_types:
+            clone.install_pruning_filters(
+                list(parent_graph.prune_types), at_types=["rack", "node"]
+            )
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Instance({self.name!r}, depth={self.depth}, "
+            f"children={len(self.children)}, vertices={len(self.graph)})"
+        )

@@ -1,0 +1,93 @@
+"""Job lifecycle records for the scheduling framework."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import JobError
+from ..jobspec import Jobspec
+from ..match import Allocation
+
+__all__ = ["Job", "JobState"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle: PENDING -> (RESERVED ->) RUNNING -> COMPLETED | CANCELED."""
+
+    PENDING = "pending"
+    RESERVED = "reserved"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    CANCELED = "canceled"
+
+
+_TRANSITIONS = {
+    JobState.PENDING: {JobState.RESERVED, JobState.RUNNING, JobState.CANCELED},
+    JobState.RESERVED: {JobState.RUNNING, JobState.PENDING, JobState.CANCELED},
+    JobState.RUNNING: {JobState.COMPLETED, JobState.CANCELED},
+    JobState.COMPLETED: set(),
+    JobState.CANCELED: set(),
+}
+
+
+@dataclass
+class Job:
+    """One job moving through the scheduler.
+
+    A job may hold several allocations when grown elastically (§5.5); the
+    first is the primary one whose window defines start/end.  ``priority``
+    orders the queue (higher first; ties by submission order).
+    """
+
+    job_id: int
+    jobspec: Jobspec
+    submit_time: int = 0
+    name: str = ""
+    priority: int = 0
+    state: JobState = JobState.PENDING
+    allocations: List[Allocation] = field(default_factory=list)
+    #: wall-clock seconds the scheduler spent matching this job (Fig 7b metric)
+    sched_time: float = 0.0
+
+    @property
+    def allocation(self) -> Optional[Allocation]:
+        """The primary allocation (None while pending)."""
+        return self.allocations[0] if self.allocations else None
+
+    @property
+    def start_time(self) -> Optional[int]:
+        alloc = self.allocation
+        return None if alloc is None else alloc.at
+
+    @property
+    def end_time(self) -> Optional[int]:
+        alloc = self.allocation
+        return None if alloc is None else alloc.end
+
+    @property
+    def wait_time(self) -> Optional[int]:
+        """Ticks between submission and (planned) start."""
+        start = self.start_time
+        return None if start is None else start - self.submit_time
+
+    def transition(self, new_state: JobState) -> None:
+        """Move to ``new_state``, enforcing the lifecycle state machine."""
+        if new_state not in _TRANSITIONS[self.state]:
+            raise JobError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+    @property
+    def is_active(self) -> bool:
+        """True while the job still holds or may acquire resources."""
+        return self.state in (JobState.PENDING, JobState.RESERVED, JobState.RUNNING)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        window = ""
+        if self.allocation:
+            window = f" [{self.start_time},{self.end_time})"
+        return f"Job(#{self.job_id} {self.state.value}{window})"

@@ -1,0 +1,176 @@
+"""Queue policies: FCFS, EASY backfill, conservative backfill (paper §3.2).
+
+The resource model deliberately knows nothing about queueing — these policies
+sit on top of a :class:`~repro.match.Traverser` and only call its public
+match verbs (separation of concerns, §3.5).  Because reservations are
+physically booked in the planners, backfilled jobs can never delay a
+reservation: the match itself refuses conflicting windows.
+
+* :class:`FCFSQueue` — strict order, no reservations: the queue head either
+  starts now or everything waits.
+* :class:`EasyBackfill` — the head of the queue gets a reservation; later
+  jobs may start *now* if they fit (they cannot push the head back).
+* :class:`ConservativeBackfill` — every job gets allocate-orelse-reserve in
+  submit order, the discipline the paper's §6.3 study uses.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, List, Optional
+
+from ..errors import SchedulerError
+from ..match import Traverser
+from .job import Job, JobState
+
+__all__ = [
+    "QueuePolicy",
+    "FCFSQueue",
+    "EasyBackfill",
+    "ConservativeBackfill",
+    "QUEUE_POLICIES",
+    "make_queue_policy",
+]
+
+
+class QueuePolicy:
+    """Base queue policy; subclasses implement :meth:`cycle`."""
+
+    name = "base"
+
+    def cycle(self, pending: List[Job], traverser: Traverser, now: int) -> None:
+        """Try to place pending jobs (in submit order) at time ``now``.
+
+        Implementations mutate job state/allocations via the traverser.  Jobs
+        left PENDING stay in the queue for the next cycle.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _timed_match(job: Job, call, *args, **kwargs):
+        """Run a traverser verb, accumulating wall time into job.sched_time."""
+        t0 = _time.perf_counter()
+        result = call(*args, **kwargs)
+        job.sched_time += _time.perf_counter() - t0
+        return result
+
+    @staticmethod
+    def _attach(job: Job, alloc, now: int) -> None:
+        job.allocations.append(alloc)
+        job.transition(JobState.RUNNING if alloc.at <= now else JobState.RESERVED)
+
+
+class FCFSQueue(QueuePolicy):
+    """First-come first-served without backfilling."""
+
+    name = "fcfs"
+
+    def cycle(self, pending: List[Job], traverser: Traverser, now: int) -> None:
+        for job in pending:
+            if job.state is not JobState.PENDING:
+                continue
+            alloc = self._timed_match(
+                job, traverser.allocate, job.jobspec, at=now
+            )
+            if alloc is None:
+                break  # head of queue blocks everyone behind it
+            self._attach(job, alloc, now)
+
+
+class EasyBackfill(QueuePolicy):
+    """EASY backfilling: one reservation for the queue head, others start-now.
+
+    The head's reservation is re-planned every cycle (canceled and re-made)
+    so completions pull it earlier; backfilled jobs physically cannot delay
+    it because the reservation's spans are booked in the planners.
+    """
+
+    name = "easy"
+
+    def __init__(self) -> None:
+        self._head_reservation: Dict[int, tuple] = {}  # job_id -> (job, alloc_id)
+
+    def cycle(self, pending: List[Job], traverser: Traverser, now: int) -> None:
+        # Cancel the standing head reservation (if it has not started running
+        # in the meantime); it is re-planned below so completions pull it
+        # earlier.
+        for job_id, (job, alloc_id) in list(self._head_reservation.items()):
+            del self._head_reservation[job_id]
+            if job.state is JobState.RESERVED and alloc_id in traverser.allocations:
+                traverser.remove(alloc_id)
+                job.transition(JobState.PENDING)
+                job.allocations.clear()
+        head_blocked = False
+        for job in pending:
+            if not head_blocked:
+                alloc = self._timed_match(
+                    job, traverser.allocate_orelse_reserve, job.jobspec, now=now
+                )
+                if alloc is None:
+                    continue  # never satisfiable; skip (stays pending)
+                self._attach(job, alloc, now)
+                if alloc.reserved:
+                    head_blocked = True
+                    self._head_reservation[job.job_id] = (job, alloc.alloc_id)
+            else:
+                alloc = self._timed_match(
+                    job, traverser.allocate, job.jobspec, at=now
+                )
+                if alloc is not None:
+                    self._attach(job, alloc, now)
+
+
+class ConservativeBackfill(QueuePolicy):
+    """Conservative backfilling: every job allocates now or reserves.
+
+    Reservations are kept (never re-planned), so each job's planned start can
+    only be honored, matching the guarantee conservative backfilling makes.
+
+    ``depth`` bounds how many jobs hold future reservations at once
+    (Fluxion's ``queue-depth``): deep queues stop paying reservation-planning
+    cost for jobs far from the head, at the price of weaker start-time
+    guarantees for them.  ``None`` means unlimited.
+    """
+
+    name = "conservative"
+
+    def __init__(self, depth: Optional[int] = None) -> None:
+        if depth is not None and depth < 1:
+            raise SchedulerError(f"queue depth must be >= 1, got {depth}")
+        self.depth = depth
+
+    def cycle(self, pending: List[Job], traverser: Traverser, now: int) -> None:
+        reserved = sum(1 for job in pending if job.state is JobState.RESERVED)
+        for job in pending:
+            if job.state is not JobState.PENDING:
+                continue
+            if self.depth is not None and reserved >= self.depth:
+                # Depth reached: only start-now placements beyond this point.
+                alloc = self._timed_match(
+                    job, traverser.allocate, job.jobspec, at=now
+                )
+            else:
+                alloc = self._timed_match(
+                    job, traverser.allocate_orelse_reserve, job.jobspec, now=now
+                )
+            if alloc is not None:
+                self._attach(job, alloc, now)
+                if alloc.reserved:
+                    reserved += 1
+
+
+QUEUE_POLICIES = {
+    "fcfs": FCFSQueue,
+    "easy": EasyBackfill,
+    "conservative": ConservativeBackfill,
+}
+
+
+def make_queue_policy(name: str) -> QueuePolicy:
+    """Instantiate a queue policy by registry name."""
+    try:
+        return QUEUE_POLICIES[name]()
+    except KeyError:
+        raise SchedulerError(
+            f"unknown queue policy {name!r}; known: {sorted(QUEUE_POLICIES)}"
+        ) from None

@@ -1,0 +1,53 @@
+"""Advanced scheduling use cases enabled by the graph model (paper §5)."""
+
+from .converged import (
+    DefaultScheduler,
+    FluxionPlugin,
+    MiniOrchestrator,
+    Placement,
+    PodSpec,
+)
+from .power import PowerAwareScheduler, power_capped_cluster, power_job
+from .rabbit import (
+    RabbitScheduler,
+    global_storage_job,
+    node_local_storage_job,
+    storage_only_job,
+)
+from .variation import (
+    EQ1_BOUNDARIES,
+    LULESH_SPREAD,
+    MG_SPREAD,
+    NodeScores,
+    assign_perf_classes,
+    class_histogram,
+    figure_of_merit,
+    fom_histogram,
+    performance_classes,
+    synthetic_node_scores,
+)
+
+__all__ = [
+    "DefaultScheduler",
+    "EQ1_BOUNDARIES",
+    "FluxionPlugin",
+    "LULESH_SPREAD",
+    "MG_SPREAD",
+    "MiniOrchestrator",
+    "NodeScores",
+    "Placement",
+    "PodSpec",
+    "PowerAwareScheduler",
+    "power_capped_cluster",
+    "power_job",
+    "RabbitScheduler",
+    "assign_perf_classes",
+    "class_histogram",
+    "figure_of_merit",
+    "fom_histogram",
+    "global_storage_job",
+    "node_local_storage_job",
+    "performance_classes",
+    "storage_only_job",
+    "synthetic_node_scores",
+]

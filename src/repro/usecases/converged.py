@@ -1,0 +1,243 @@
+"""Converged computing: a mini container orchestrator with a Fluxion plugin
+(paper §5.3).
+
+Kubernetes' resource model is "simplistic in comparison to the sophisticated
+expression capabilities of Fluxion"; Fluence plugs Fluxion into Kubernetes'
+scheduler-plugin interface to give MPI workloads HPC-grade placement.  This
+module reproduces that architecture in miniature:
+
+* :class:`MiniOrchestrator` — a declarative pod orchestrator whose node model
+  is a flat list of capacities (the Kubernetes-style baseline);
+* :class:`DefaultScheduler` — filter-and-score, one pod at a time, no notion
+  of gangs or topology;
+* :class:`FluxionPlugin` — the same scheduler interface backed by a resource
+  graph + traverser; pod *groups* are matched all-or-nothing through a single
+  jobspec (gang scheduling) with topology awareness for free.
+
+The separation of concerns (§3.5) is what makes the plugin tiny: it only
+translates pods to jobspecs and back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import SchedulerError
+from ..jobspec import Jobspec, ResourceRequest, slot
+from ..match import Traverser
+from ..resource import ResourceGraph
+
+__all__ = [
+    "PodSpec",
+    "Placement",
+    "MiniOrchestrator",
+    "DefaultScheduler",
+    "FluxionPlugin",
+]
+
+
+@dataclass(frozen=True)
+class PodSpec:
+    """A container pod's resource request."""
+
+    name: str
+    cpus: int = 1
+    memory_gb: int = 1
+    gpus: int = 0
+
+
+@dataclass
+class Placement:
+    """Where pods landed: pod name -> node name."""
+
+    bindings: Dict[str, str] = field(default_factory=dict)
+
+    def nodes(self) -> List[str]:
+        return sorted(set(self.bindings.values()))
+
+
+class SchedulerPlugin:
+    """The orchestrator's pluggable scheduling interface."""
+
+    def schedule_group(
+        self, orchestrator: "MiniOrchestrator", pods: Sequence[PodSpec]
+    ) -> Optional[Placement]:
+        raise NotImplementedError
+
+    def unschedule(self, orchestrator: "MiniOrchestrator", placement: Placement) -> None:
+        raise NotImplementedError
+
+
+class MiniOrchestrator:
+    """A tiny declarative pod orchestrator with swappable schedulers."""
+
+    def __init__(
+        self,
+        nodes: int = 4,
+        cpus_per_node: int = 8,
+        memory_gb_per_node: int = 32,
+        gpus_per_node: int = 0,
+        scheduler: Optional[SchedulerPlugin] = None,
+    ) -> None:
+        self.capacity = {
+            f"knode{i}": {
+                "cpu": cpus_per_node,
+                "memory": memory_gb_per_node,
+                "gpu": gpus_per_node,
+            }
+            for i in range(nodes)
+        }
+        self.free = {name: dict(cap) for name, cap in self.capacity.items()}
+        self.scheduler = scheduler or DefaultScheduler()
+        self.placements: List[Placement] = []
+
+    def deploy(self, pods: Sequence[PodSpec]) -> Optional[Placement]:
+        """Ask the active scheduler to place a pod group; None if it cannot."""
+        placement = self.scheduler.schedule_group(self, pods)
+        if placement is not None:
+            self.placements.append(placement)
+        return placement
+
+    def teardown(self, placement: Placement) -> None:
+        """Delete a deployment, returning its resources."""
+        if placement not in self.placements:
+            raise SchedulerError("unknown placement")
+        self.scheduler.unschedule(self, placement)
+        self.placements.remove(placement)
+
+    # -- capacity bookkeeping used by DefaultScheduler ------------------
+    def fits(self, node: str, pod: PodSpec) -> bool:
+        free = self.free[node]
+        return (
+            free["cpu"] >= pod.cpus
+            and free["memory"] >= pod.memory_gb
+            and free["gpu"] >= pod.gpus
+        )
+
+    def bind(self, node: str, pod: PodSpec) -> None:
+        free = self.free[node]
+        free["cpu"] -= pod.cpus
+        free["memory"] -= pod.memory_gb
+        free["gpu"] -= pod.gpus
+
+    def unbind(self, node: str, pod: PodSpec) -> None:
+        free = self.free[node]
+        free["cpu"] += pod.cpus
+        free["memory"] += pod.memory_gb
+        free["gpu"] += pod.gpus
+
+
+class DefaultScheduler(SchedulerPlugin):
+    """Kubernetes-style filter/score scheduling, one pod at a time.
+
+    No gang semantics: when a group only partially fits, the pods placed so
+    far stay bound (head-of-line resource waste — the failure mode Fluence
+    addresses for MPI workloads).
+    """
+
+    def __init__(self, keep_partial: bool = True) -> None:
+        self.keep_partial = keep_partial
+        self._pods: Dict[str, PodSpec] = {}
+
+    def schedule_group(
+        self, orchestrator: MiniOrchestrator, pods: Sequence[PodSpec]
+    ) -> Optional[Placement]:
+        placement = Placement()
+        for pod in pods:
+            candidates = [
+                n for n in orchestrator.capacity if orchestrator.fits(n, pod)
+            ]
+            if not candidates:
+                if not self.keep_partial:
+                    self.unschedule(orchestrator, placement)
+                    return None
+                break
+            # Score: least-allocated first (spread), mirroring the default
+            # kube-scheduler's NodeResourcesFit/LeastAllocated behavior.
+            best = max(candidates, key=lambda n: orchestrator.free[n]["cpu"])
+            orchestrator.bind(best, pod)
+            placement.bindings[pod.name] = best
+            self._pods[pod.name] = pod
+        if len(placement.bindings) < len(pods):
+            return placement if placement.bindings else None
+        return placement
+
+    def unschedule(self, orchestrator: MiniOrchestrator, placement: Placement) -> None:
+        for pod_name, node in placement.bindings.items():
+            orchestrator.unbind(node, self._pods.pop(pod_name))
+        placement.bindings.clear()
+
+
+class FluxionPlugin(SchedulerPlugin):
+    """Fluence-style plugin: Fluxion's graph model behind the same interface.
+
+    Builds a resource graph mirroring the orchestrator's nodes once, then
+    matches each pod group as a single jobspec — all pods or none (gang
+    scheduling), with the graph policy choosing placement (e.g. locality).
+    """
+
+    def __init__(self, orchestrator: MiniOrchestrator, policy: str = "locality",
+                 horizon: int = 2**40) -> None:
+        graph = ResourceGraph(0, horizon)
+        cluster = graph.add_vertex("cluster", basename="kube")
+        self._node_names: Dict[int, str] = {}
+        for name, cap in orchestrator.capacity.items():
+            node = graph.add_vertex("node", basename="knode")
+            graph.add_edge(cluster, node)
+            self._node_names[node.uniq_id] = name
+            for _ in range(cap["cpu"]):
+                graph.add_edge(node, graph.add_vertex("core"))
+            for _ in range(cap["gpu"]):
+                graph.add_edge(node, graph.add_vertex("gpu"))
+            memory = graph.add_vertex("memory", size=cap["memory"])
+            graph.add_edge(node, memory)
+        graph.install_pruning_filters(
+            ["core", "memory", "gpu"], at_types=["node"]
+        )
+        self.graph = graph
+        self.traverser = Traverser(graph, policy=policy)
+        self._deployments: Dict[int, int] = {}  # id(placement) -> alloc_id
+        self._pods: Dict[int, List[PodSpec]] = {}
+
+    @staticmethod
+    def _group_jobspec(pods: Sequence[PodSpec]) -> Jobspec:
+        """One jobspec for the whole pod group (identical pods expected for
+        MPI ranks; heterogeneous pods become sibling slot requests)."""
+        requests = []
+        for pod in pods:
+            inner = [ResourceRequest(type="core", count=pod.cpus)]
+            if pod.gpus:
+                inner.append(ResourceRequest(type="gpu", count=pod.gpus))
+            inner.append(
+                ResourceRequest(type="memory", count=pod.memory_gb, unit="GB")
+            )
+            requests.append(
+                ResourceRequest(type="node", count=1, with_=(slot(1, *inner),))
+            )
+        return Jobspec(resources=tuple(requests), duration=2**30)
+
+    def schedule_group(
+        self, orchestrator: MiniOrchestrator, pods: Sequence[PodSpec]
+    ) -> Optional[Placement]:
+        alloc = self.traverser.allocate(self._group_jobspec(pods), at=0)
+        if alloc is None:
+            return None  # gang semantics: nothing placed on failure
+        placement = Placement()
+        node_selections = [
+            s for s in alloc.selections if not s.passthrough and s.type == "node"
+        ]
+        for pod, selection in zip(pods, node_selections):
+            name = self._node_names[selection.vertex.uniq_id]
+            placement.bindings[pod.name] = name
+            orchestrator.bind(name, pod)  # mirror into orchestrator accounting
+        self._deployments[id(placement)] = alloc.alloc_id
+        self._pods[id(placement)] = list(pods)
+        return placement
+
+    def unschedule(self, orchestrator: MiniOrchestrator, placement: Placement) -> None:
+        alloc_id = self._deployments.pop(id(placement))
+        self.traverser.remove(alloc_id)
+        for pod in self._pods.pop(id(placement)):
+            orchestrator.unbind(placement.bindings[pod.name], pod)
+        placement.bindings.clear()

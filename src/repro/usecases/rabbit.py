@@ -1,0 +1,131 @@
+"""Rabbit (near-node-flash) storage scheduling (paper §5.1).
+
+Jobspec builders and a thin scheduler facade for the three allocation shapes
+El Capitan's rabbits must support, all expressed as ordinary graph matches
+over the :func:`~repro.grug.rabbit.rabbit_system` model:
+
+* **node-local storage** — compute nodes plus storage carved from the rabbit
+  in the *same chassis* (co-location enforced by grouping the request under
+  a rack vertex);
+* **global (Lustre) storage** — storage on any one rabbit plus that rabbit's
+  unique ``ip`` vertex, so a second Lustre server can never land on the same
+  rabbit;
+* **storage-only** — a file system with no compute attached, which users keep
+  across jobs (the scheduler must support compute-less allocations).
+
+Every file system consumes NVMe namespaces from the rabbit's namespace pool,
+bounding how many file systems one rabbit can host.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..jobspec import Jobspec, ResourceRequest, slot
+from ..match import Allocation, Traverser
+from ..resource import ResourceGraph
+
+__all__ = [
+    "node_local_storage_job",
+    "global_storage_job",
+    "storage_only_job",
+    "RabbitScheduler",
+]
+
+
+def node_local_storage_job(
+    chassis: int = 1,
+    nodes_per_chassis: int = 1,
+    cores_per_node: int = 1,
+    local_gb_per_chassis: int = 100,
+    namespaces: int = 1,
+    duration: int = 3600,
+) -> Jobspec:
+    """Compute nodes plus node-local rabbit storage in the same chassis.
+
+    Grouping under ``rack`` guarantees the selected storage lives on the
+    rabbit of the chassis that also holds the selected nodes — the
+    "pick compute nodes whose rabbit has enough storage" constraint.
+    """
+    per_chassis = slot(
+        1,
+        ResourceRequest(
+            type="node",
+            count=nodes_per_chassis,
+            with_=(ResourceRequest(type="core", count=cores_per_node),),
+        ),
+        ResourceRequest(type="ssd", count=local_gb_per_chassis, unit="GB"),
+        ResourceRequest(type="nvme_namespace", count=namespaces),
+    )
+    rack = ResourceRequest(type="rack", count=chassis, with_=(per_chassis,))
+    return Jobspec(resources=(rack,), duration=duration)
+
+
+def global_storage_job(
+    gb: int = 500,
+    namespaces: int = 1,
+    duration: int = 3600,
+) -> Jobspec:
+    """A global Lustre file system on one rabbit.
+
+    Includes the rabbit's single ``ip`` vertex: the Lustre server needs a
+    unique IP, so at most one global file system can live on each rabbit.
+    """
+    rabbit = ResourceRequest(
+        type="rabbit",
+        count=1,
+        with_=(
+            slot(
+                1,
+                ResourceRequest(type="ssd", count=gb, unit="GB"),
+                ResourceRequest(type="nvme_namespace", count=namespaces),
+                ResourceRequest(type="ip", count=1),
+            ),
+        ),
+    )
+    return Jobspec(resources=(rabbit,), duration=duration)
+
+
+def storage_only_job(
+    gb: int = 200,
+    namespaces: int = 1,
+    duration: int = 3600,
+) -> Jobspec:
+    """A file system with no compute resources attached (kept across jobs)."""
+    rabbit = ResourceRequest(
+        type="rabbit",
+        count=1,
+        with_=(
+            slot(
+                1,
+                ResourceRequest(type="ssd", count=gb, unit="GB"),
+                ResourceRequest(type="nvme_namespace", count=namespaces),
+            ),
+        ),
+    )
+    return Jobspec(resources=(rabbit,), duration=duration)
+
+
+class RabbitScheduler:
+    """Facade bundling a rabbit-aware graph with the match verbs it needs."""
+
+    def __init__(self, graph: ResourceGraph, policy: str = "first") -> None:
+        self.graph = graph
+        self.traverser = Traverser(graph, policy=policy)
+
+    def allocate_node_local(
+        self, now: int = 0, **kwargs
+    ) -> Optional[Allocation]:
+        """Node-local storage + compute; see :func:`node_local_storage_job`."""
+        return self.traverser.allocate(node_local_storage_job(**kwargs), at=now)
+
+    def allocate_global_fs(self, now: int = 0, **kwargs) -> Optional[Allocation]:
+        """Global Lustre storage; see :func:`global_storage_job`."""
+        return self.traverser.allocate(global_storage_job(**kwargs), at=now)
+
+    def allocate_storage_only(self, now: int = 0, **kwargs) -> Optional[Allocation]:
+        """Compute-less persistent file system; see :func:`storage_only_job`."""
+        return self.traverser.allocate(storage_only_job(**kwargs), at=now)
+
+    def free(self, allocation: Allocation) -> None:
+        self.traverser.remove(allocation.alloc_id)

@@ -1,0 +1,5 @@
+"""Workload generation: synthetic traces and Planner span workloads."""
+
+from .trace import TraceJob, planner_span_workload, synthetic_trace
+
+__all__ = ["TraceJob", "planner_span_workload", "synthetic_trace"]

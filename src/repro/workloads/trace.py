@@ -1,0 +1,95 @@
+"""Synthetic workload generation.
+
+The paper's §6.3 trace is a snapshot of quartz's production job queue (467
+jobs, 200 sampled) of which only two fields are used: node count and
+duration.  This module generates seedable synthetic traces with the
+distributions typical of HPC scheduler logs — node counts skewed toward
+small powers of two with a heavy tail, durations log-uniform from minutes to
+half a day — plus the uniform random span workload of the §6.2 Planner
+study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..jobspec import Jobspec, nodes_jobspec, simple_node_jobspec
+
+__all__ = ["TraceJob", "synthetic_trace", "planner_span_workload"]
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """One job of a trace: what §6.3 extracts from the quartz snapshot."""
+
+    job_index: int
+    nnodes: int
+    duration: int
+    submit_time: int = 0
+
+    def to_jobspec(self, exclusive: bool = True) -> Jobspec:
+        """Whole-node jobspec for trace replay."""
+        return nodes_jobspec(self.nnodes, duration=self.duration,
+                             exclusive=exclusive)
+
+
+def synthetic_trace(
+    n_jobs: int = 200,
+    seed: int = 7,
+    max_nodes: int = 2418,
+    min_duration: int = 600,
+    max_duration: int = 43_200,
+    arrival_spread: int = 0,
+) -> List[TraceJob]:
+    """Generate a quartz-queue-like snapshot trace.
+
+    Node counts: ~60% of jobs pick a power of two up to 64; the rest are
+    log-uniform up to ``max_nodes // 4`` (production queues rarely hold many
+    near-full-system jobs).  Durations are log-uniform in
+    ``[min_duration, max_duration]`` (the paper's 12 h horizon).  With
+    ``arrival_spread`` > 0, submit times are uniform in ``[0, spread)``
+    instead of a point-in-time snapshot.
+    """
+    rng = np.random.default_rng(seed)
+    jobs: List[TraceJob] = []
+    powers = [1, 2, 4, 8, 16, 32, 64]
+    for index in range(n_jobs):
+        if rng.random() < 0.6:
+            nnodes = int(rng.choice(powers))
+        else:
+            hi = max(2, max_nodes // 4)
+            nnodes = int(np.exp(rng.uniform(np.log(1), np.log(hi))))
+        nnodes = max(1, min(nnodes, max_nodes))
+        duration = int(
+            np.exp(rng.uniform(np.log(min_duration), np.log(max_duration)))
+        )
+        submit = int(rng.integers(0, arrival_spread)) if arrival_spread else 0
+        jobs.append(TraceJob(index, nnodes, duration, submit))
+    return jobs
+
+
+def planner_span_workload(
+    n_spans: int,
+    seed: int = 11,
+    total: int = 128,
+    max_duration: int = 43_200,
+    horizon: int = 2**40,
+) -> List[Tuple[int, int, int]]:
+    """The §6.2 Planner workload: (start, duration, request) tuples.
+
+    Requests are uniform in [1, total], durations uniform in
+    [1, max_duration] (12 h), laid out with conservative-backfill semantics
+    by the bench itself (each span is placed at its earliest fit), so starts
+    returned here are monotone random offsets used as search hints.
+    """
+    rng = np.random.default_rng(seed)
+    requests = rng.integers(1, total + 1, size=n_spans)
+    durations = rng.integers(1, max_duration + 1, size=n_spans)
+    starts = rng.integers(0, max(1, horizon - max_duration - 1), size=n_spans)
+    return [
+        (int(starts[i]), int(durations[i]), int(requests[i]))
+        for i in range(n_spans)
+    ]

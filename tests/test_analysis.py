@@ -1,0 +1,122 @@
+"""Tests for the analysis metrics (utilization, slowdowns, Gantt)."""
+
+import pytest
+
+from repro.analysis import (
+    ascii_gantt,
+    average_utilization,
+    bounded_slowdowns,
+    utilization_timeline,
+)
+from repro.grug import tiny_cluster
+from repro.jobspec import nodes_jobspec
+from repro.match import Traverser
+from repro.sched import ClusterSimulator
+
+
+class TestUtilizationTimeline:
+    def test_empty_graph_single_step(self):
+        g = tiny_cluster(racks=1, nodes_per_rack=2)
+        timeline = utilization_timeline(g, "node")
+        assert timeline == [(0, 0, 2)]
+
+    def test_steps_follow_allocations(self):
+        g = tiny_cluster(racks=1, nodes_per_rack=4, cores=2)
+        t = Traverser(g, policy="low")
+        t.allocate(nodes_jobspec(2, duration=100), at=0)
+        t.allocate(nodes_jobspec(1, duration=50), at=0)
+        timeline = utilization_timeline(g, "node")
+        profile = {time: used for time, used, _ in timeline}
+        assert profile == {0: 3, 50: 2, 100: 0}
+
+    def test_average_utilization(self):
+        g = tiny_cluster(racks=1, nodes_per_rack=4, cores=2)
+        t = Traverser(g, policy="low")
+        t.allocate(nodes_jobspec(4, duration=50), at=0)
+        assert average_utilization(g, "node", 0, 100) == pytest.approx(0.5)
+        assert average_utilization(g, "node", 0, 50) == pytest.approx(1.0)
+        assert average_utilization(g, "node", 50, 100) == 0.0
+
+    def test_bad_window(self):
+        g = tiny_cluster(racks=1, nodes_per_rack=1)
+        with pytest.raises(ValueError):
+            average_utilization(g, "node", 10, 10)
+
+    def test_missing_type_zero_total(self):
+        g = tiny_cluster(racks=1, nodes_per_rack=1)
+        assert average_utilization(g, "fpga", 0, 10) == 0.0
+
+
+class TestSlowdownsAndGantt:
+    def run_sim(self):
+        g = tiny_cluster(racks=1, nodes_per_rack=2, cores=2)
+        sim = ClusterSimulator(g, queue="conservative")
+        sim.submit(nodes_jobspec(2, duration=100), at=0)
+        sim.submit(nodes_jobspec(2, duration=100), at=0)
+        return sim.run()
+
+    def test_bounded_slowdowns(self):
+        report = self.run_sim()
+        slowdowns = bounded_slowdowns(report)
+        assert slowdowns == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_gantt_renders_rows(self):
+        report = self.run_sim()
+        chart = ascii_gantt(report.jobs, width=20)
+        lines = chart.splitlines()
+        assert len(lines) == 3
+        assert lines[1].count("#") == 10
+        assert "t=200" in lines[0]
+
+    def test_gantt_empty(self):
+        assert ascii_gantt([]) == "(no placed jobs)"
+
+
+class TestCsvExport:
+    def test_report_csv(self, tmp_path):
+        import csv
+
+        from repro.analysis import report_to_csv
+        from repro.grug import tiny_cluster
+        from repro.jobspec import nodes_jobspec
+        from repro.sched import ClusterSimulator
+
+        sim = ClusterSimulator(tiny_cluster(racks=1, nodes_per_rack=2))
+        sim.submit(nodes_jobspec(2, duration=100), at=0)
+        sim.submit(nodes_jobspec(2, duration=50), at=0)
+        report = sim.run()
+        path = tmp_path / "jobs.csv"
+        assert report_to_csv(report, str(path)) == 2
+        rows = list(csv.DictReader(open(path)))
+        assert rows[0]["state"] == "completed"
+        assert rows[1]["start_time"] == "100"
+        assert rows[0]["nnodes"] == "2"
+
+    def test_rows_csv(self, tmp_path):
+        import csv
+
+        from repro.analysis import rows_to_csv
+
+        path = tmp_path / "rows.csv"
+        rows_to_csv([{"a": 1, "b": 2}, {"a": 3, "b": 4}], str(path))
+        back = list(csv.DictReader(open(path)))
+        assert back == [{"a": "1", "b": "2"}, {"a": "3", "b": "4"}]
+        with pytest.raises(ValueError):
+            rows_to_csv([], str(path))
+
+    def test_event_log_csv(self, tmp_path):
+        import csv
+
+        from repro.analysis import event_log_to_csv
+        from repro.grug import tiny_cluster
+        from repro.jobspec import nodes_jobspec
+        from repro.sched import ClusterSimulator
+
+        sim = ClusterSimulator(tiny_cluster(racks=1, nodes_per_rack=1))
+        sim.submit(nodes_jobspec(1, duration=10), at=0)
+        sim.run()
+        path = tmp_path / "events.csv"
+        n = event_log_to_csv(sim.event_log, str(path))
+        assert n == 3  # submit, start, end
+        back = list(csv.DictReader(open(path)))
+        assert [r["event"] for r in back] == ["submit", "start", "end"]

@@ -1,0 +1,251 @@
+"""Tests for the resource-query CLI and the workload generators."""
+
+import io
+
+import pytest
+import yaml
+
+from repro.cli import ResourceQuery, main
+from repro.grug import tiny_cluster
+from repro.jobspec import nodes_jobspec, simple_node_jobspec
+from repro.workloads import TraceJob, planner_span_workload, synthetic_trace
+
+
+@pytest.fixture
+def jobspec_file(tmp_path):
+    path = tmp_path / "job.yaml"
+    with open(path, "w") as handle:
+        yaml.safe_dump(
+            simple_node_jobspec(cores=2, duration=60).to_dict(), handle
+        )
+    return str(path)
+
+
+class TestResourceQuery:
+    def run_commands(self, commands, **kwargs):
+        out = io.StringIO()
+        query = ResourceQuery(tiny_cluster(), out=out, **kwargs)
+        for command in commands:
+            if not query.execute(command):
+                break
+        return query, out.getvalue()
+
+    def test_match_allocate(self, jobspec_file):
+        query, output = self.run_commands([f"match allocate {jobspec_file}"])
+        assert "allocated id=1" in output
+        assert "match time" in output
+        assert len(query.traverser.allocations) == 1
+
+    def test_match_until_no_match(self, jobspec_file):
+        # tiny cluster: 4 nodes x 4 cores; 2-core jobs -> 8 fit, 9th fails.
+        commands = [f"match allocate {jobspec_file}"] * 9
+        query, output = self.run_commands(commands, policy="low")
+        assert output.count("allocated") == 8
+        assert "no match" in output
+
+    def test_match_reserve_and_satisfiability(self, jobspec_file, tmp_path):
+        big = tmp_path / "big.yaml"
+        with open(big, "w") as handle:
+            yaml.safe_dump(nodes_jobspec(4, duration=100).to_dict(), handle)
+        query, output = self.run_commands(
+            [
+                f"match allocate_orelse_reserve {big}",
+                f"match allocate_orelse_reserve {big}",
+                f"match satisfiability {big}",
+            ]
+        )
+        assert "reserved" in output
+        assert "satisfiability: yes" in output
+
+    def test_cancel(self, jobspec_file):
+        query, output = self.run_commands(
+            [f"match allocate {jobspec_file}", "cancel 1"]
+        )
+        assert "canceled 1" in output
+        assert not query.traverser.allocations
+
+    def test_find_info_stats(self):
+        query, output = self.run_commands(["find node", "info", "stats"])
+        assert "4 vertices match 'node'" in output
+        assert "subsystems" in output
+        assert "visits=" in output
+
+    def test_error_paths(self, jobspec_file):
+        query, output = self.run_commands(
+            [
+                "bogus",
+                "match allocate",
+                "match teleport x.yaml",
+                "cancel notanumber",
+                "cancel 99",
+                "find",
+                "match allocate /nonexistent.yaml",
+                "",
+                "# comment",
+            ]
+        )
+        assert "unknown command" in output
+        assert "usage: match" in output
+        assert "unknown match verb" in output
+        assert "usage: cancel" in output
+        assert "ERROR" in output
+
+    def test_find_expression(self):
+        query, output = self.run_commands(["find type=node and id<2"])
+        assert "2 vertices match" in output
+
+    def test_find_bad_expression(self):
+        query, output = self.run_commands(["find type=node and"])
+        assert "ERROR" in output
+
+    def test_jgf_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "sys.json"
+        query, output = self.run_commands(
+            [f"jgf save {path}", f"jgf load {path}", "info"]
+        )
+        assert "wrote 35 vertices" in output
+        assert "loaded 35 vertices" in output
+
+    def test_jgf_load_refused_with_allocations(self, jobspec_file, tmp_path):
+        path = tmp_path / "sys.json"
+        query, output = self.run_commands(
+            [f"jgf save {path}", f"match allocate {jobspec_file}",
+             f"jgf load {path}"]
+        )
+        assert "cancel all allocations" in output
+
+    def test_jgf_usage(self):
+        query, output = self.run_commands(["jgf frobnicate x"])
+        assert "usage: jgf" in output
+
+    def test_outage_lifecycle(self):
+        query, output = self.run_commands(
+            [
+                "outage add /cluster0/rack0 100 50",
+                "outage list",
+                "outage cancel 1",
+                "outage list",
+                "outage bogus",
+            ]
+        )
+        assert "outage #1 on /cluster0/rack0 [100,150)" in output
+        assert "1 planned outages" in output
+        assert "0 planned outages" in output
+        assert "usage: outage" in output
+
+    def test_outage_blocks_matching(self, tmp_path):
+        big = tmp_path / "big.yaml"
+        with open(big, "w") as handle:
+            yaml.safe_dump(nodes_jobspec(4, duration=200).to_dict(), handle)
+        query, output = self.run_commands(
+            ["outage add /cluster0/rack0 0 1000", f"match allocate {big}"]
+        )
+        assert "no match" in output
+
+    def test_quit_stops_processing(self, jobspec_file):
+        query, output = self.run_commands(["quit", f"match allocate {jobspec_file}"])
+        assert "allocated" not in output
+
+    def test_main_with_command_file(self, tmp_path, jobspec_file, capsys):
+        commands = tmp_path / "cmds.txt"
+        commands.write_text(f"match allocate {jobspec_file}\nstats\nquit\n")
+        rc = main(["--preset", "tiny", "--policy", "low", "-f", str(commands)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "allocated id=1" in captured.out
+
+    def test_main_with_grug_file(self, tmp_path, capsys):
+        recipe = tmp_path / "sys.yaml"
+        recipe.write_text(
+            "resources:\n  type: cluster\n  with:\n    - {type: node, count: 2}\n"
+        )
+        commands = tmp_path / "cmds.txt"
+        commands.write_text("info\nquit\n")
+        rc = main(
+            ["--grug", str(recipe), "--prune-filters", "node", "-f", str(commands)]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "node:2" in captured.out
+
+    def test_main_bad_grug(self, tmp_path, capsys):
+        rc = main(["--grug", str(tmp_path / "missing.yaml")])
+        assert rc == 1
+
+
+class TestSyntheticTrace:
+    def test_deterministic_and_bounded(self):
+        a = synthetic_trace(200, seed=7, max_nodes=100)
+        b = synthetic_trace(200, seed=7, max_nodes=100)
+        assert a == b
+        assert all(1 <= j.nnodes <= 100 for j in a)
+        assert all(600 <= j.duration <= 43_200 for j in a)
+        assert all(j.submit_time == 0 for j in a)
+
+    def test_different_seeds_differ(self):
+        assert synthetic_trace(50, seed=1) != synthetic_trace(50, seed=2)
+
+    def test_arrival_spread(self):
+        jobs = synthetic_trace(100, seed=3, arrival_spread=1000)
+        assert any(j.submit_time > 0 for j in jobs)
+        assert all(0 <= j.submit_time < 1000 for j in jobs)
+
+    def test_to_jobspec(self):
+        job = TraceJob(0, nnodes=4, duration=500)
+        js = job.to_jobspec()
+        assert js.totals() == {"node": 4}
+        assert js.duration == 500
+        shared = job.to_jobspec(exclusive=False)
+        assert shared.resources[0].with_[0].exclusive is False
+
+    def test_small_jobs_dominate(self):
+        jobs = synthetic_trace(500, seed=11, max_nodes=2418)
+        small = sum(1 for j in jobs if j.nnodes <= 64)
+        assert small > len(jobs) * 0.6
+
+
+class TestPlannerSpanWorkload:
+    def test_shapes_and_ranges(self):
+        spans = planner_span_workload(1000, seed=5, total=128)
+        assert len(spans) == 1000
+        assert all(1 <= req <= 128 for _, _, req in spans)
+        assert all(1 <= dur <= 43_200 for _, dur, _ in spans)
+        assert all(start >= 0 for start, _, _ in spans)
+
+    def test_deterministic(self):
+        assert planner_span_workload(100, seed=9) == planner_span_workload(
+            100, seed=9
+        )
+
+
+class TestDrainResumeCommands:
+    def run_commands(self, commands):
+        import io
+
+        from repro.cli import ResourceQuery
+        from repro.grug import tiny_cluster
+
+        out = io.StringIO()
+        query = ResourceQuery(tiny_cluster(), policy="low", out=out)
+        for command in commands:
+            query.execute(command)
+        return query, out.getvalue()
+
+    def test_drain_then_resume(self):
+        query, output = self.run_commands(
+            [
+                "drain /cluster0/rack0/node0",
+                "find status=down",
+                "resume /cluster0/rack0/node0",
+                "find status=down",
+            ]
+        )
+        assert "is now down" in output
+        assert "is now up" in output
+        assert "1 vertices match 'status=down'" in output
+        assert "0 vertices match 'status=down'" in output
+
+    def test_usage_and_bad_path(self):
+        query, output = self.run_commands(["drain", "drain /nowhere"])
+        assert "usage: drain" in output
+        assert "ERROR" in output

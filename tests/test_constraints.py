@@ -1,0 +1,134 @@
+"""Tests for jobspec property constraints (``requires`` expressions)."""
+
+import pytest
+
+from repro.errors import JobspecError
+from repro.grug import quartz, tiny_cluster
+from repro.jobspec import Jobspec, ResourceRequest, parse_jobspec, slot
+from repro.match import Traverser
+
+
+def classed_cluster(classes):
+    g = quartz(racks=1, nodes_per_rack=len(classes))
+    for node, cls in zip(sorted(g.vertices("node"), key=lambda v: v.id), classes):
+        node.properties["perf_class"] = cls
+    return g
+
+
+def constrained_nodes(count, requires, duration=10):
+    return Jobspec(
+        resources=(
+            slot(1, ResourceRequest(type="node", count=count, requires=requires)),
+        ),
+        duration=duration,
+    )
+
+
+class TestRequiresMatching:
+    def test_equality_constraint(self):
+        g = classed_cluster([1, 1, 2, 2, 3, 3])
+        t = Traverser(g, policy="low")
+        alloc = t.allocate(constrained_nodes(2, "perf_class=2"), at=0)
+        assert sorted(n.properties["perf_class"] for n in alloc.nodes()) == [2, 2]
+
+    def test_range_constraint(self):
+        g = classed_cluster([1, 2, 3, 4, 5])
+        t = Traverser(g, policy="low")
+        alloc = t.allocate(constrained_nodes(3, "perf_class<=3"), at=0)
+        assert max(n.properties["perf_class"] for n in alloc.nodes()) <= 3
+        assert t.allocate(constrained_nodes(4, "perf_class<=3"), at=0) is None
+
+    def test_boolean_constraint(self):
+        g = classed_cluster([1, 2, 3, 4])
+        for i, node in enumerate(sorted(g.vertices("node"), key=lambda v: v.id)):
+            node.properties["vendor"] = "amd" if i % 2 else "intel"
+        t = Traverser(g, policy="low")
+        alloc = t.allocate(
+            constrained_nodes(1, "vendor=amd and perf_class>=3"), at=0
+        )
+        node = alloc.nodes()[0]
+        assert node.properties["vendor"] == "amd"
+        assert node.properties["perf_class"] == 4
+
+    def test_constraint_on_unsatisfiable_property(self):
+        g = classed_cluster([1, 2])
+        t = Traverser(g)
+        assert t.allocate(constrained_nodes(1, "gpu_model=a100"), at=0) is None
+        assert not t.satisfiable(constrained_nodes(1, "gpu_model=a100"))
+
+    def test_constraint_respected_in_reservations(self):
+        g = classed_cluster([1, 1, 2, 2])
+        t = Traverser(g, policy="low")
+        t.allocate(constrained_nodes(2, "perf_class=1", duration=100), at=0)
+        later = t.allocate_orelse_reserve(
+            constrained_nodes(2, "perf_class=1", duration=10), now=0
+        )
+        assert later.reserved and later.at == 100
+        assert all(n.properties["perf_class"] == 1 for n in later.nodes())
+
+    def test_nested_constraints(self):
+        """Constraints at several levels apply independently."""
+        g = tiny_cluster(racks=2, nodes_per_rack=2, cores=4)
+        for rack in g.vertices("rack"):
+            rack.properties["power_zone"] = rack.id
+        js = Jobspec(
+            resources=(
+                ResourceRequest(
+                    type="rack",
+                    count=1,
+                    requires="power_zone=1",
+                    with_=(slot(1, ResourceRequest(type="node", count=2)),),
+                ),
+            ),
+            duration=10,
+        )
+        alloc = Traverser(g, policy="low").allocate(js, at=0)
+        rack = g.parents(alloc.nodes()[0])[0]
+        assert rack.properties["power_zone"] == 1
+
+
+class TestRequiresParsing:
+    def test_yaml_round_trip(self):
+        js = parse_jobspec(
+            {
+                "version": 1,
+                "resources": [
+                    {
+                        "type": "slot",
+                        "count": 1,
+                        "with": [
+                            {"type": "node", "count": 2,
+                             "requires": "perf_class<=2"}
+                        ],
+                    }
+                ],
+            }
+        )
+        node = js.resources[0].with_[0]
+        assert node.requires == "perf_class<=2"
+        again = parse_jobspec(js.to_dict())
+        assert again.resources[0].with_[0].requires == "perf_class<=2"
+
+    def test_malformed_expression_rejected_early(self):
+        with pytest.raises(JobspecError):
+            ResourceRequest(type="node", requires="perf_class=")
+        with pytest.raises(JobspecError):
+            parse_jobspec(
+                {"version": 1,
+                 "resources": [{"type": "node", "requires": "and and"}]}
+            )
+
+    def test_non_string_requires_rejected(self):
+        with pytest.raises(JobspecError):
+            parse_jobspec(
+                {"version": 1,
+                 "resources": [{"type": "node", "requires": 5}]}
+            )
+
+    def test_status_constraints_compose_with_drain(self):
+        g = classed_cluster([1, 1, 1])
+        g.mark_down(g.find(type="node")[0])
+        t = Traverser(g, policy="low")
+        # Two class-1 nodes remain up.
+        assert t.allocate(constrained_nodes(2, "perf_class=1"), at=0)
+        assert t.allocate(constrained_nodes(1, "perf_class=1"), at=0) is None

@@ -1,0 +1,52 @@
+"""Executable documentation: the README quickstart must keep working."""
+
+
+def test_readme_quickstart_snippet():
+    from repro import (
+        Traverser,
+        nodes_jobspec,
+        simple_node_jobspec,
+        tiny_cluster,
+    )
+
+    graph = tiny_cluster(racks=2, nodes_per_rack=4, cores=8)
+    traverser = Traverser(graph, policy="low")
+
+    alloc = traverser.allocate(simple_node_jobspec(cores=4, memory=8), at=0)
+    assert alloc.summary().startswith("t=[0,3600)")
+    assert "core:4" in alloc.summary()
+
+    res = traverser.allocate_orelse_reserve(
+        nodes_jobspec(8, duration=600), now=0
+    )
+    assert res.reserved is True
+    assert res.at == 3600
+
+    traverser.remove(alloc.alloc_id)
+
+
+def test_api_doc_planner_snippet():
+    from repro.planner import Planner
+
+    p = Planner(total=128, plan_start=0, plan_end=2**40,
+                resource_type="memory")
+    sid = p.add_span(start=100, duration=3600, request=32)
+    assert p.avail_at(200, 96)
+    assert p.avail_during(100, 3600, 96)
+    assert p.avail_resources_during(100, 3600) == 96
+    assert p.avail_time_first(128, 3600, 0) == 3700
+    p.update_span_end(sid, 5000)
+    assert p.next_event_time(0) == 100
+    p.rem_span(sid)
+
+
+def test_api_doc_workflow_snippet():
+    from repro import ClusterSimulator, Workflow, nodes_jobspec, tiny_cluster
+
+    graph = tiny_cluster(racks=2, nodes_per_rack=2, cores=4)
+    wf = Workflow()
+    pre = wf.add_task("pre", nodes_jobspec(1, duration=100))
+    wf.add_task("main", nodes_jobspec(4, duration=500), deps=[pre])
+    result = wf.execute(ClusterSimulator(graph))
+    assert result.makespan == 600
+    assert result.critical_path_respected()

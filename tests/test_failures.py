@@ -1,0 +1,117 @@
+"""Failure-injection tests: node/rack failures under running workloads."""
+
+import pytest
+
+from repro.grug import tiny_cluster
+from repro.jobspec import nodes_jobspec, simple_node_jobspec
+from repro.match import Allocation
+from repro.sched import (
+    ClusterSimulator,
+    JobState,
+    affected_jobs,
+    fail_vertex,
+    repair_vertex,
+)
+
+
+def running_sim(queue="conservative"):
+    g = tiny_cluster(racks=2, nodes_per_rack=2, cores=4)
+    sim = ClusterSimulator(g, match_policy="low", queue=queue)
+    jobs = [sim.submit(nodes_jobspec(1, duration=1000), at=0) for _ in range(4)]
+    sim.step(); sim.step(); sim.step(); sim.step()
+    assert all(j.state is JobState.RUNNING for j in jobs)
+    return g, sim, jobs
+
+
+class TestAffectedJobs:
+    def test_finds_jobs_under_failed_rack(self):
+        g, sim, jobs = running_sim()
+        rack = g.find(type="rack")[0]
+        hit = affected_jobs(sim, rack)
+        assert len(hit) == 2
+        assert all(
+            g.parents(j.allocation.nodes()[0])[0] is rack for j in hit
+        )
+
+    def test_single_node_failure(self):
+        g, sim, jobs = running_sim()
+        node = jobs[0].allocation.nodes()[0]
+        assert affected_jobs(sim, node) == [jobs[0]]
+
+    def test_idle_vertex_affects_nothing(self):
+        g, sim, jobs = running_sim()
+        idle = g.find(type="gpu")[0]
+        assert affected_jobs(sim, idle) == []
+
+
+class TestFailVertex:
+    def test_jobs_canceled_and_resubmitted_elsewhere(self):
+        g, sim, jobs = running_sim()
+        node = jobs[0].allocation.nodes()[0]
+        canceled, resubmitted = fail_vertex(sim, node)
+        assert canceled == [jobs[0]]
+        assert jobs[0].state is JobState.CANCELED
+        assert len(resubmitted) == 1
+        report = sim.run()
+        retry = resubmitted[0]
+        assert retry.state is JobState.COMPLETED
+        assert retry.allocation.nodes()[0] is not node
+
+    def test_rack_failure_displaces_two_jobs(self):
+        g, sim, jobs = running_sim()
+        rack = g.find(type="rack")[0]
+        canceled, resubmitted = fail_vertex(sim, rack)
+        assert len(canceled) == 2
+        report = sim.run()
+        assert len(report.completed) == 4  # 2 untouched + 2 retries
+        survivors = [j for j in report.completed if "retry" in j.name]
+        for job in survivors:
+            assert g.parents(job.allocation.nodes()[0])[0] is not rack
+
+    def test_no_resubmit_option(self):
+        g, sim, jobs = running_sim()
+        node = jobs[0].allocation.nodes()[0]
+        canceled, resubmitted = fail_vertex(sim, node, resubmit=False)
+        assert resubmitted == []
+        report = sim.run()
+        assert len(report.completed) == 3
+
+    def test_capacity_lost_until_repair(self):
+        g, sim, jobs = running_sim()
+        rack = g.find(type="rack")[0]
+        fail_vertex(sim, rack, resubmit=False)
+        # Half the machine is gone: a 3-node job cannot fit anymore.
+        overflow = sim.submit(nodes_jobspec(3, duration=10), at=sim.now)
+        sim.run()
+        assert overflow.state is JobState.CANCELED  # unsatisfiable now
+        repair_vertex(sim, rack)
+        again = sim.submit(nodes_jobspec(3, duration=10), at=sim.now)
+        report = sim.run()
+        assert again.state is JobState.COMPLETED
+
+    def test_graph_clean_after_failures(self):
+        g, sim, jobs = running_sim()
+        fail_vertex(sim, g.find(type="rack")[0])
+        sim.run()
+        for v in g.vertices():
+            assert v.plans.span_count == 0
+            assert v.xplans.span_count == 0
+
+
+class TestRv1Writer:
+    def test_rv1_document_shape(self):
+        g = tiny_cluster(racks=1, nodes_per_rack=1, cores=4)
+        from repro.match import Traverser
+
+        t = Traverser(g, policy="low")
+        alloc = t.allocate(simple_node_jobspec(cores=2, duration=10), at=0)
+        rv1 = alloc.to_rv1()
+        assert rv1["version"] == 1
+        assert rv1["execution"]["expiration"] == 10
+        sched_paths = {e["path"] for e in rv1["scheduling"]["resources"]}
+        rlite_paths = {e["path"] for e in rv1["resources"]}
+        assert rlite_paths < sched_paths  # scheduling view includes passthrough
+        passthrough = [
+            e for e in rv1["scheduling"]["resources"] if e["passthrough"]
+        ]
+        assert {e["type"] for e in passthrough} == {"cluster", "rack"}

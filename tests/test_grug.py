@@ -1,0 +1,248 @@
+"""Tests for GRUG recipes and system presets (paper §6.1, §5.1, §5.4)."""
+
+import pytest
+
+from repro.errors import RecipeError
+from repro.grug import (
+    build_from_recipe,
+    build_lod,
+    disaggregated_system,
+    load_recipe_file,
+    lod_recipe,
+    quartz,
+    rabbit_system,
+    tiny_cluster,
+)
+from repro.jobspec import nodes_jobspec, simple_node_jobspec
+from repro.match import Traverser
+
+
+class TestRecipe:
+    def test_basic_recipe(self):
+        g = build_from_recipe(
+            {
+                "plan_end": 1000,
+                "resources": {
+                    "type": "cluster",
+                    "with": [
+                        {
+                            "type": "node",
+                            "count": 3,
+                            "with": [{"type": "core", "count": 2}],
+                        }
+                    ],
+                },
+            }
+        )
+        assert g.total_by_type() == {"cluster": 1, "node": 3, "core": 6}
+        assert g.plan_end == 1000
+
+    def test_yaml_text_recipe(self):
+        g = build_from_recipe(
+            """
+plan_end: 500
+resources:
+  type: cluster
+  with:
+    - {type: memory, count: 4, size: 64, unit: GB}
+"""
+        )
+        mem = g.find(type="memory")
+        assert len(mem) == 4 and mem[0].size == 64 and mem[0].unit == "GB"
+
+    def test_recipe_prune_filters(self):
+        g = build_from_recipe(
+            {
+                "resources": {
+                    "type": "cluster",
+                    "with": [{"type": "node", "count": 2}],
+                },
+                "prune_filters": {"types": ["node"]},
+            }
+        )
+        assert g.root.prune_filters.total("node") == 2
+
+    def test_properties_propagate(self):
+        g = build_from_recipe(
+            {
+                "resources": {
+                    "type": "cluster",
+                    "with": [
+                        {"type": "node", "count": 2,
+                         "properties": {"perf_class": 3}}
+                    ],
+                }
+            }
+        )
+        assert all(
+            v.properties["perf_class"] == 3 for v in g.vertices("node")
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not a mapping",
+            {"resources": {"count": 1}},
+            {"resources": {"type": "x", "count": 0}},
+            {"resources": {"type": "x", "count": "two"}},
+            {"resources": {"type": "x", "size": -1}},
+            {"resources": {"type": "x", "with": "core"}},
+            {"resources": {"type": "x", "frobnicate": True}},
+            {"resources": {"type": "x"}, "prune_filters": {"at": ["rack"]}},
+            {"nothing": 1},
+        ],
+    )
+    def test_malformed_recipes(self, bad):
+        with pytest.raises(RecipeError):
+            build_from_recipe(bad)
+
+    def test_invalid_yaml(self):
+        with pytest.raises(RecipeError):
+            build_from_recipe("{unclosed: [")
+
+    def test_recipe_file(self, tmp_path):
+        path = tmp_path / "sys.yaml"
+        path.write_text(
+            "resources:\n  type: cluster\n  with:\n    - {type: node, count: 2}\n"
+        )
+        g = load_recipe_file(str(path))
+        assert len(g.find(type="node")) == 2
+
+
+class TestLodPresets:
+    """The four §6.1 configurations model the same 1008-node system."""
+
+    def test_high_structure(self):
+        g = build_lod("high", racks=4, nodes_per_rack=3)
+        totals = g.total_by_type()
+        assert totals["rack"] == 4
+        assert totals["node"] == 12
+        assert totals["socket"] == 24
+        assert totals["core"] == 12 * 40
+        assert totals["gpu"] == 12 * 4
+        assert totals["memory"] == 12 * 256
+        assert totals["ssd"] == 12 * 1600
+
+    def test_lods_conserve_capacity(self):
+        """Coarsening changes granularity, never total capacity (§3.3)."""
+        reference = None
+        for lod in ("high", "med", "low", "low2"):
+            g = build_lod(lod, racks=4, nodes_per_rack=3)
+            totals = g.total_by_type()
+            capacity = {
+                t: totals.get(t, 0) for t in ("node", "core", "gpu", "memory", "ssd")
+            }
+            if reference is None:
+                reference = capacity
+            else:
+                assert capacity == reference, lod
+
+    def test_vertex_counts_shrink_with_coarsening(self):
+        counts = {
+            lod: build_lod(lod, racks=4, nodes_per_rack=3).vertex_count
+            for lod in ("high", "med", "low", "low2")
+        }
+        assert counts["high"] > counts["med"] > counts["low2"] > counts["low"]
+
+    def test_low_has_no_racks_low2_does(self):
+        assert not build_lod("low", racks=2, nodes_per_rack=2).find(type="rack")
+        assert build_lod("low2", racks=2, nodes_per_rack=2).find(type="rack")
+
+    def test_same_jobspec_matches_all_lods(self):
+        """The §6.1 jobspec (10 cores, 8GB, 1 bb) works at every LOD."""
+        js = simple_node_jobspec(cores=10, memory=8, ssds=1, duration=100)
+        for lod in ("high", "med", "low", "low2"):
+            g = build_lod(lod, racks=2, nodes_per_rack=2)
+            alloc = Traverser(g, policy="low").allocate(js, at=0)
+            assert alloc is not None, lod
+            assert alloc.amount_of("core") == 10
+            assert alloc.amount_of("memory") == 8
+
+    def test_unknown_lod(self):
+        with pytest.raises(ValueError):
+            lod_recipe("ultra")
+
+    def test_no_prune_variant(self):
+        g = build_lod("med", racks=1, nodes_per_rack=2, prune_types=None)
+        assert all(v.prune_filters is None for v in g.vertices())
+
+
+class TestQuartzPreset:
+    def test_default_size(self):
+        g = quartz()
+        assert len(g.find(type="node")) == 39 * 62 == 2418
+        assert len(g.find(type="rack")) == 39
+
+    def test_perf_class_assignment(self):
+        g = quartz(racks=2, nodes_per_rack=3,
+                   perf_classes={0: 1, 1: 2, 5: 5})
+        nodes = {v.id: v for v in g.vertices("node")}
+        assert nodes[0].properties["perf_class"] == 1
+        assert nodes[5].properties["perf_class"] == 5
+        assert "perf_class" not in nodes[2].properties
+
+    def test_with_cores(self):
+        g = quartz(racks=1, nodes_per_rack=2, cores_per_node=4, with_cores=True)
+        assert len(g.find(type="core")) == 8
+
+
+class TestRabbitSystem:
+    def test_rabbit_dual_parent(self):
+        g = rabbit_system(chassis=2)
+        for rabbit in g.find(type="rabbit"):
+            parent_types = {p.type for p in g.parents(rabbit)}
+            assert parent_types == {"rack", "cluster"}
+
+    def test_per_rabbit_inventory(self):
+        g = rabbit_system(chassis=1, ssds_per_rabbit=3, ssd_size=750,
+                          namespaces_per_ssd=4)
+        rabbit = g.find(type="rabbit")[0]
+        children = g.children(rabbit)
+        ssds = [c for c in children if c.type == "ssd"]
+        assert len(ssds) == 3 and all(s.size == 750 for s in ssds)
+        namespaces = [c for c in children if c.type == "nvme_namespace"]
+        assert namespaces[0].size == 12
+        ips = [c for c in children if c.type == "ip"]
+        assert len(ips) == 1 and ips[0].size == 1
+
+    def test_compute_still_schedulable(self):
+        g = rabbit_system(chassis=2, nodes_per_chassis=2)
+        t = Traverser(g, policy="low")
+        assert t.allocate(nodes_jobspec(4, duration=10), at=0) is not None
+
+
+class TestDisaggregated:
+    def test_specialized_racks(self):
+        g = disaggregated_system(cpu_racks=2, gpu_racks=1, memory_racks=1,
+                                 bb_racks=1)
+        kinds = sorted(
+            v.properties["specialized"] for v in g.vertices("rack")
+        )
+        assert kinds == ["bb", "cpu", "cpu", "gpu", "memory"]
+
+    def test_network_subsystem(self):
+        g = disaggregated_system()
+        assert "network" in g.subsystems
+        switch = g.find(type="switch")[0]
+        assert len(g.children(switch, "network")) == len(g.find(type="rack"))
+
+    def test_cross_rack_matching(self):
+        """A request drawing cores + gpus + memory spans specialized racks."""
+        from repro.jobspec import from_counts
+
+        g = disaggregated_system(cpus_per_rack=8, gpus_per_rack=4)
+        t = Traverser(g)
+        alloc = t.allocate(
+            from_counts({"core": 4, "gpu": 2, "memory": 32}, duration=10), at=0
+        )
+        assert alloc is not None
+        racks = {
+            g.parents(s.vertex)[0].properties["specialized"]
+            for s in alloc.resources()
+            if s.type in ("core", "gpu", "memory")
+        }
+        assert racks == {"cpu", "gpu", "memory"}
+
+    def test_no_network_variant(self):
+        g = disaggregated_system(with_network=False)
+        assert "network" not in g.subsystems

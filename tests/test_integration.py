@@ -1,0 +1,280 @@
+"""Full-stack integration tests: multi-subsystem modeling, flow resources,
+mixed workloads across the whole pipeline (recipe -> jobspec -> traverser ->
+simulator -> teardown)."""
+
+import pytest
+
+from repro.grug import build_from_recipe, build_lod, tiny_cluster
+from repro.jobspec import (
+    Jobspec,
+    ResourceRequest,
+    from_counts,
+    nodes_jobspec,
+    parse_jobspec,
+    simple_node_jobspec,
+    slot,
+)
+from repro.match import Traverser
+from repro.resource import ResourceGraph
+from repro.sched import ClusterSimulator
+
+
+class TestPowerAwareScheduling:
+    """Flow resources (§1, §3.1): power as a schedulable pool.
+
+    Each rack carries a power pool; jobs request cores *and* watts, so a
+    rack with free cores but no power headroom is skipped — the
+    multi-constraint case node-centric models cannot express.
+    """
+
+    def build(self):
+        graph = ResourceGraph(0, 100_000)
+        cluster = graph.add_vertex("cluster")
+        for _ in range(2):
+            rack = graph.add_vertex("rack")
+            graph.add_edge(cluster, rack)
+            power = graph.add_vertex("power", size=1000)
+            graph.add_edge(rack, power)
+            for _ in range(2):
+                node = graph.add_vertex("node")
+                graph.add_edge(rack, node)
+                for _ in range(8):
+                    graph.add_edge(node, graph.add_vertex("core"))
+        graph.install_pruning_filters(
+            ["core", "power"], at_types=["rack"]
+        )
+        return graph
+
+    @staticmethod
+    def power_job(cores: int, watts: int, duration: int = 100) -> Jobspec:
+        rack = ResourceRequest(
+            type="rack",
+            count=1,
+            with_=(
+                slot(
+                    1,
+                    ResourceRequest(
+                        type="node", count=1,
+                        with_=(ResourceRequest(type="core", count=cores),),
+                    ),
+                    ResourceRequest(type="power", count=watts, unit="W"),
+                ),
+            ),
+        )
+        return Jobspec(resources=(rack,), duration=duration)
+
+    def test_power_and_cores_together(self):
+        graph = self.build()
+        traverser = Traverser(graph, policy="low")
+        alloc = traverser.allocate(self.power_job(cores=4, watts=600), at=0)
+        assert alloc is not None
+        assert alloc.amount_of("power") == 600
+        rack = graph.parents(alloc.nodes()[0])[0]
+        power = [c for c in graph.children(rack) if c.type == "power"][0]
+        assert power.plans.avail_resources_at(50) == 400
+
+    def test_power_exhaustion_redirects_to_other_rack(self):
+        graph = self.build()
+        traverser = Traverser(graph, policy="low")
+        first = traverser.allocate(self.power_job(cores=1, watts=900), at=0)
+        second = traverser.allocate(self.power_job(cores=1, watts=900), at=0)
+        r1 = graph.parents(first.nodes()[0])[0]
+        r2 = graph.parents(second.nodes()[0])[0]
+        assert r1 is not r2  # rack0 has cores free but only 100 W left
+
+    def test_power_fully_exhausted_reserves(self):
+        graph = self.build()
+        traverser = Traverser(graph, policy="low")
+        traverser.allocate(self.power_job(cores=1, watts=1000, duration=50), at=0)
+        traverser.allocate(self.power_job(cores=1, watts=1000, duration=80), at=0)
+        third = traverser.allocate_orelse_reserve(
+            self.power_job(cores=1, watts=500, duration=10), now=0
+        )
+        assert third.reserved and third.at == 50
+
+
+class TestNetworkSubsystemTraversal:
+    """Graph filtering (§3.3): traversing a non-containment subsystem."""
+
+    def build(self):
+        graph = ResourceGraph(0, 10_000)
+        cluster = graph.add_vertex("cluster")
+        core_switch = graph.add_vertex("switch", basename="coresw")
+        graph.add_edge(cluster, core_switch, subsystem="network",
+                       edge_type="conduit-of")
+        for _ in range(2):
+            edge_switch = graph.add_vertex("switch", basename="edgesw")
+            graph.add_edge(core_switch, edge_switch, subsystem="network",
+                           edge_type="conduit-of")
+            for _ in range(2):
+                node = graph.add_vertex("node")
+                graph.add_edge(cluster, node)  # containment
+                graph.add_edge(edge_switch, node, subsystem="network")
+                bw = graph.add_vertex("bandwidth", size=100)
+                graph.add_edge(node, bw, subsystem="network")
+        return graph
+
+    def test_network_walk_finds_bandwidth(self):
+        graph = self.build()
+        traverser = Traverser(graph, subsystem="network")
+        js = Jobspec(
+            resources=(
+                ResourceRequest(
+                    type="switch", count=1,
+                    with_=(slot(1, ResourceRequest(type="bandwidth", count=150)),),
+                ),
+            ),
+            duration=100,
+        )
+        alloc = traverser.allocate(js, at=0)
+        assert alloc is not None
+        assert alloc.amount_of("bandwidth") == 150
+
+    def test_containment_walk_cannot_see_network_edges(self):
+        graph = self.build()
+        traverser = Traverser(graph, subsystem="containment")
+        js = from_counts({"bandwidth": 10}, duration=10)
+        assert traverser.allocate(js, at=0) is None  # bw only in network subsystem
+
+    def test_per_subsystem_paths_disjoint(self):
+        graph = self.build()
+        node = graph.find(type="node")[0]
+        assert node.path("containment") == "/cluster0/node0"
+        assert node.path("network") == "/cluster0/coresw0/edgesw0/node0"
+
+
+class TestMixedWorkloadLifecycle:
+    def test_full_stack_on_lod_system(self):
+        """Recipe-built system + YAML jobspecs + simulator, end to end."""
+        graph = build_lod("med", racks=2, nodes_per_rack=3)
+        sim = ClusterSimulator(graph, match_policy="locality",
+                               queue="conservative")
+        yaml_job = parse_jobspec("""
+version: 1
+resources:
+  - type: node
+    count: 1
+    with:
+      - type: slot
+        count: 1
+        with:
+          - {type: core, count: 20}
+          - {type: memory, count: 64, unit: GB}
+attributes:
+  system: {duration: 500}
+""")
+        for _ in range(6):
+            sim.submit(yaml_job, at=0)
+        sim.submit(nodes_jobspec(6, duration=300), at=0)
+        sim.submit(simple_node_jobspec(cores=40, duration=100), at=10)
+        report = sim.run()
+        assert len(report.completed) == 8
+        for v in graph.vertices():
+            assert v.plans.span_count == 0
+
+    def test_many_small_jobs_throughput(self):
+        graph = tiny_cluster(racks=2, nodes_per_rack=4, cores=8)
+        sim = ClusterSimulator(graph, match_policy="first", queue="easy")
+        for i in range(80):
+            sim.submit(simple_node_jobspec(cores=1, duration=50 + i % 7), at=0)
+        report = sim.run()
+        assert len(report.completed) == 80
+        # 64 cores -> at least 64 jobs start immediately.
+        assert report.immediate_starts() >= 64
+
+    def test_recipe_to_simulation_roundtrip(self):
+        graph = build_from_recipe(
+            """
+plan_end: 100000
+resources:
+  type: cluster
+  with:
+    - type: rack
+      count: 2
+      with:
+        - type: node
+          count: 2
+          with:
+            - {type: core, count: 4}
+prune_filters:
+  types: [core, node]
+  at: [rack]
+"""
+        )
+        sim = ClusterSimulator(graph, queue="fcfs")
+        jobs = [sim.submit(nodes_jobspec(2, duration=100), at=0) for _ in range(3)]
+        report = sim.run()
+        assert [j.start_time for j in jobs] == [0, 0, 100]
+
+
+class TestHeterogeneousConstraints:
+    def test_gpu_job_avoids_cpu_only_nodes(self):
+        graph = ResourceGraph(0, 1000)
+        cluster = graph.add_vertex("cluster")
+        rack = graph.add_vertex("rack")
+        graph.add_edge(cluster, rack)
+        for has_gpu in (False, False, True):
+            node = graph.add_vertex("node")
+            graph.add_edge(rack, node)
+            for _ in range(4):
+                graph.add_edge(node, graph.add_vertex("core"))
+            if has_gpu:
+                graph.add_edge(node, graph.add_vertex("gpu"))
+        graph.install_pruning_filters(["core", "gpu"], at_types=["node"])
+        traverser = Traverser(graph, policy="low")
+        alloc = traverser.allocate(
+            simple_node_jobspec(cores=2, gpus=1, duration=10), at=0
+        )
+        assert alloc.nodes()[0].id == 2  # only node2 has the gpu
+
+    def test_socket_local_constraint(self):
+        """Cores and gpu must come from the same socket when nested."""
+        graph = build_lod("high", racks=1, nodes_per_rack=1)
+        traverser = Traverser(graph, policy="low")
+        js = parse_jobspec(
+            {
+                "version": 1,
+                "resources": [
+                    {
+                        "type": "socket",
+                        "count": 2,
+                        "with": [
+                            {
+                                "type": "slot",
+                                "count": 1,
+                                "with": [
+                                    {"type": "core", "count": 5},
+                                    {"type": "gpu", "count": 1},
+                                ],
+                            }
+                        ],
+                    }
+                ],
+                "attributes": {"system": {"duration": 100}},
+            }
+        )
+        alloc = traverser.allocate(js, at=0)
+        assert alloc is not None
+        sockets = {
+            graph.parents(s.vertex)[0].name
+            for s in alloc.resources()
+            if s.type == "core"
+        }
+        assert len(sockets) == 2  # five cores in each of two sockets
+        # Request exceeding one socket's cores must fail.
+        too_big = parse_jobspec(
+            {
+                "version": 1,
+                "resources": [
+                    {
+                        "type": "socket",
+                        "count": 1,
+                        "with": [
+                            {"type": "slot", "count": 1,
+                             "with": [{"type": "core", "count": 21}]}
+                        ],
+                    }
+                ],
+            }
+        )
+        assert traverser.allocate(too_big, at=0) is None

@@ -1,0 +1,259 @@
+"""Tests for JGF serialization and the find-expression language."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ResourceGraphError
+from repro.grug import disaggregated_system, rabbit_system, tiny_cluster
+from repro.jobspec import nodes_jobspec, simple_node_jobspec
+from repro.match import Traverser
+from repro.resource import (
+    ExpressionError,
+    compile_expression,
+    find_by_expression,
+    from_jgf,
+    load_jgf,
+    save_jgf,
+    to_jgf,
+)
+
+
+class TestJgfRoundTrip:
+    def assert_equivalent(self, original, rebuilt):
+        assert rebuilt.total_by_type() == original.total_by_type()
+        assert rebuilt.edge_count == original.edge_count
+        originals = sorted(
+            (v.type, v.name, v.size, v.unit, tuple(sorted(v.paths.items())))
+            for v in original.vertices()
+        )
+        rebuilts = sorted(
+            (v.type, v.name, v.size, v.unit, tuple(sorted(v.paths.items())))
+            for v in rebuilt.vertices()
+        )
+        assert originals == rebuilts
+
+    def test_tiny_cluster(self):
+        g = tiny_cluster()
+        self.assert_equivalent(g, from_jgf(to_jgf(g)))
+
+    def test_multi_parent_rabbit_graph(self):
+        g = rabbit_system(chassis=2)
+        rebuilt = from_jgf(to_jgf(g))
+        self.assert_equivalent(g, rebuilt)
+        rabbit = rebuilt.find(type="rabbit")[0]
+        assert {p.type for p in rebuilt.parents(rabbit)} == {"rack", "cluster"}
+
+    def test_multi_subsystem_graph(self):
+        g = disaggregated_system()
+        rebuilt = from_jgf(to_jgf(g))
+        assert set(rebuilt.subsystems) == set(g.subsystems)
+        switch = rebuilt.find(type="switch")[0]
+        assert len(rebuilt.children(switch, "network")) == len(
+            rebuilt.find(type="rack")
+        )
+
+    def test_properties_and_horizon_survive(self):
+        g = tiny_cluster(plan_end=5000)
+        for i, node in enumerate(g.find(type="node")):
+            node.properties["perf_class"] = i + 1
+        rebuilt = from_jgf(to_jgf(g))
+        assert rebuilt.plan_end == 5000
+        assert sorted(
+            v.properties["perf_class"] for v in rebuilt.vertices("node")
+        ) == [1, 2, 3, 4]
+
+    def test_prune_types_reinstalled(self):
+        g = tiny_cluster()
+        rebuilt = from_jgf(to_jgf(g))
+        assert rebuilt.prune_types == g.prune_types
+        assert rebuilt.root.prune_filters is not None
+
+    def test_rebuilt_graph_is_schedulable(self):
+        rebuilt = from_jgf(to_jgf(tiny_cluster()))
+        t = Traverser(rebuilt, policy="low")
+        assert t.allocate(simple_node_jobspec(cores=2, duration=10), at=0)
+        assert t.allocate_orelse_reserve(nodes_jobspec(4, duration=10), now=0)
+
+    def test_file_round_trip(self, tmp_path):
+        g = tiny_cluster()
+        path = tmp_path / "system.json"
+        save_jgf(g, str(path))
+        self.assert_equivalent(g, load_jgf(str(path)))
+
+    def test_json_text_input(self):
+        g = tiny_cluster(racks=1, nodes_per_rack=1)
+        text = json.dumps(to_jgf(g))
+        self.assert_equivalent(g, from_jgf(text))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not json",
+            "{}",
+            {"graph": []},
+            {"graph": {"nodes": []}},
+            {"graph": {"nodes": [{"metadata": {"type": "node"}}]}},
+            {"graph": {"nodes": [{"id": "0", "metadata": {}}]}},
+            {
+                "graph": {
+                    "nodes": [
+                        {"id": "0", "metadata": {"type": "a"}},
+                        {"id": "0", "metadata": {"type": "b"}},
+                    ]
+                }
+            },
+            {
+                "graph": {
+                    "nodes": [{"id": "0", "metadata": {"type": "a"}}],
+                    "edges": [{"source": "0", "target": "9", "metadata": {}}],
+                }
+            },
+        ],
+    )
+    def test_malformed_documents(self, bad):
+        with pytest.raises(ResourceGraphError):
+            from_jgf(bad)
+
+
+@pytest.fixture
+def tagged_graph():
+    g = tiny_cluster(racks=2, nodes_per_rack=2, cores=4)
+    for i, node in enumerate(g.find(type="node")):
+        node.properties["perf_class"] = i + 1
+        node.properties["vendor"] = "amd" if i % 2 else "intel"
+    return g
+
+
+class TestExpressions:
+    def test_simple_equality(self, tagged_graph):
+        assert len(find_by_expression(tagged_graph, "type=node")) == 4
+        assert len(find_by_expression(tagged_graph, "type=memory")) == 8
+
+    def test_numeric_comparisons(self, tagged_graph):
+        assert len(find_by_expression(tagged_graph, "perf_class>=3")) == 2
+        assert len(find_by_expression(tagged_graph, "size>1")) == 8
+        assert len(find_by_expression(tagged_graph, "perf_class<2")) == 1
+
+    def test_boolean_operators(self, tagged_graph):
+        hits = find_by_expression(
+            tagged_graph, "type=node and vendor=intel"
+        )
+        assert len(hits) == 2
+        hits = find_by_expression(
+            tagged_graph, "type=core or type=gpu"
+        )
+        assert len(hits) == 16 + 4
+        hits = find_by_expression(
+            tagged_graph, "type=node and not vendor=intel"
+        )
+        assert len(hits) == 2
+
+    def test_parentheses_and_precedence(self, tagged_graph):
+        with_parens = find_by_expression(
+            tagged_graph, "(type=node or type=core) and id=0"
+        )
+        assert {v.type for v in with_parens} == {"node", "core"}
+        # 'and' binds tighter than 'or'.
+        loose = find_by_expression(
+            tagged_graph, "type=node or type=core and id=0"
+        )
+        assert len(loose) == 4 + 1
+
+    def test_quoted_strings_and_names(self, tagged_graph):
+        assert find_by_expression(tagged_graph, "name='node3'")[0].id == 3
+        assert find_by_expression(tagged_graph, 'basename="rack"') != []
+
+    def test_missing_property_semantics(self, tagged_graph):
+        # Cores have no perf_class: equality never matches, != always does.
+        assert find_by_expression(tagged_graph, "type=core and perf_class=1") == []
+        assert (
+            len(find_by_expression(tagged_graph, "type=core and perf_class!=1"))
+            == 16
+        )
+
+    def test_type_mismatch_is_false(self, tagged_graph):
+        assert find_by_expression(tagged_graph, "type=node and vendor>5") == []
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "   ", "type=", "=node", "type==node=", "(type=node",
+         "type=node and", "not", "type ~ node", "type=node extra"],
+    )
+    def test_malformed_expressions(self, bad):
+        with pytest.raises(ExpressionError):
+            compile_expression(bad)
+
+    def test_predicate_reuse(self, tagged_graph):
+        predicate = compile_expression("type=node and perf_class<=2")
+        assert sum(predicate(v) for v in tagged_graph.vertices()) == 2
+
+
+@given(st.integers(1, 5), st.integers(0, 5))
+@settings(max_examples=20, deadline=None)
+def test_property_expression_matches_manual_filter(threshold, probe):
+    g = tiny_cluster(racks=1, nodes_per_rack=5, cores=1)
+    for i, node in enumerate(g.find(type="node")):
+        node.properties["perf_class"] = i + 1
+    hits = find_by_expression(g, f"type=node and perf_class<={threshold}")
+    manual = [
+        v for v in g.vertices("node")
+        if v.properties["perf_class"] <= threshold
+    ]
+    assert sorted(v.name for v in hits) == sorted(v.name for v in manual)
+
+
+@st.composite
+def expressions(draw, depth=0):
+    """Random well-formed expressions over a small attribute alphabet,
+    paired with a brute-force evaluator."""
+    if depth < 2 and draw(st.booleans()):
+        op = draw(st.sampled_from(["and", "or"]))
+        left_text, left_fn = draw(expressions(depth=depth + 1))
+        right_text, right_fn = draw(expressions(depth=depth + 1))
+        if op == "and":
+            return (f"({left_text}) and ({right_text})",
+                    lambda v: left_fn(v) and right_fn(v))
+        return (f"({left_text}) or ({right_text})",
+                lambda v: left_fn(v) or right_fn(v))
+    if depth < 2 and draw(st.booleans()):
+        inner_text, inner_fn = draw(expressions(depth=depth + 1))
+        return (f"not ({inner_text})", lambda v: not inner_fn(v))
+    key = draw(st.sampled_from(["id", "size", "perf_class"]))
+    op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+    value = draw(st.integers(0, 5))
+
+    def lookup(vertex):
+        if key in ("id", "size"):
+            return getattr(vertex, key)
+        return vertex.properties.get(key)
+
+    import operator
+
+    ops = {"=": operator.eq, "!=": operator.ne, "<": operator.lt,
+           "<=": operator.le, ">": operator.gt, ">=": operator.ge}
+
+    def fn(vertex):
+        actual = lookup(vertex)
+        if actual is None:
+            return op == "!="
+        return ops[op](actual, value)
+
+    return (f"{key}{op}{value}", fn)
+
+
+@given(expressions())
+@settings(max_examples=80, deadline=None)
+def test_property_expression_grammar_fuzz(pair):
+    """Grammar-generated expressions evaluate identically to a brute-force
+    reference over a small tagged graph."""
+    text, reference = pair
+    g = tiny_cluster(racks=1, nodes_per_rack=4, cores=2)
+    for i, node in enumerate(g.find(type="node")):
+        if i % 2 == 0:
+            node.properties["perf_class"] = i
+    predicate = compile_expression(text)
+    for vertex in g.vertices():
+        assert predicate(vertex) == reference(vertex), (text, vertex)

@@ -1,0 +1,234 @@
+"""Tests for the canonical jobspec model, parser and builders (paper §4.2)."""
+
+import pytest
+
+from repro.errors import JobspecError
+from repro.jobspec import (
+    Jobspec,
+    ResourceRequest,
+    from_counts,
+    nodes_jobspec,
+    parse_jobspec,
+    pool_jobspec,
+    rack_spread_jobspec,
+    simple_node_jobspec,
+    slot,
+)
+
+FIG4A_YAML = """
+version: 1
+resources:
+  - type: node
+    count: 1
+    with:
+      - type: slot
+        count: 1
+        label: default
+        with:
+          - type: socket
+            count: 2
+            with:
+              - {type: core, count: 5}
+              - {type: gpu, count: 1}
+              - {type: memory, count: 16, unit: GB}
+attributes:
+  system:
+    duration: 7200
+"""
+
+
+class TestModel:
+    def test_count_must_be_positive(self):
+        with pytest.raises(JobspecError):
+            ResourceRequest(type="core", count=0)
+
+    def test_slot_cannot_be_shared(self):
+        with pytest.raises(JobspecError):
+            ResourceRequest(type="slot", count=1, exclusive=False)
+
+    def test_slot_requires_children(self):
+        with pytest.raises(JobspecError):
+            Jobspec(resources=(ResourceRequest(type="slot", count=1),))
+
+    def test_nested_slots_rejected(self):
+        inner = slot(1, ResourceRequest(type="core", count=1))
+        with pytest.raises(JobspecError):
+            Jobspec(resources=(slot(1, inner),))
+
+    def test_empty_resources_rejected(self):
+        with pytest.raises(JobspecError):
+            Jobspec(resources=())
+
+    def test_duration_must_be_positive(self):
+        node = ResourceRequest(type="node")
+        with pytest.raises(JobspecError):
+            Jobspec(resources=(node,), duration=0)
+
+    def test_effective_exclusivity(self):
+        core = ResourceRequest(type="core", count=1)
+        assert not core.effective_exclusive(inherited=False)
+        assert core.effective_exclusive(inherited=True)
+        explicit = ResourceRequest(type="node", exclusive=True)
+        assert explicit.effective_exclusive(inherited=False)
+        opt_out = ResourceRequest(type="node", exclusive=False)
+        assert not opt_out.effective_exclusive(inherited=True)
+
+    def test_walk_preorder(self):
+        js = parse_jobspec(FIG4A_YAML)
+        types = [r.type for r in js.walk()]
+        assert types == ["node", "slot", "socket", "core", "gpu", "memory"]
+
+    def test_totals_multiply_down(self):
+        js = rack_spread_jobspec(2, 2, 2, cores_per_node=22, gpus_per_node=2)
+        assert js.totals() == {"rack": 2, "node": 8, "core": 176, "gpu": 16}
+
+    def test_totals_exclude_slots(self):
+        js = nodes_jobspec(4)
+        assert js.totals() == {"node": 4}
+
+    def test_summary_marks_exclusive(self):
+        js = nodes_jobspec(2)
+        assert js.summary() == "slot!:2[node!:1] @3600"
+
+
+class TestParser:
+    def test_fig4a_roundtrip(self):
+        js = parse_jobspec(FIG4A_YAML)
+        assert js.duration == 7200
+        assert js.totals() == {
+            "node": 1,
+            "socket": 2,
+            "core": 10,
+            "gpu": 2,
+            "memory": 32,
+        }
+        again = parse_jobspec(js.to_dict())
+        assert again.summary() == js.summary()
+        assert again.totals() == js.totals()
+
+    def test_count_mapping_uses_min(self):
+        js = parse_jobspec(
+            {
+                "version": 1,
+                "resources": [
+                    {"type": "node", "count": {"min": 3, "max": 10, "operator": "+"}}
+                ],
+            }
+        )
+        assert js.resources[0].count == 3
+
+    def test_default_duration(self):
+        js = parse_jobspec({"version": 1, "resources": [{"type": "node"}]})
+        assert js.duration == 3600
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "just a string",
+            {"version": 2, "resources": [{"type": "node"}]},
+            {"version": 1, "resources": []},
+            {"version": 1, "resources": [{"count": 1}]},
+            {"version": 1, "resources": [{"type": "node", "count": "four"}]},
+            {"version": 1, "resources": [{"type": "node", "count": {"max": 2}}]},
+            {"version": 1, "resources": [{"type": "node", "exclusive": "yes"}]},
+            {"version": 1, "resources": [{"type": "node", "with": "core"}]},
+            {"version": 1, "resources": [{"type": "node", "frobnicate": 1}]},
+            {
+                "version": 1,
+                "resources": [{"type": "node"}],
+                "attributes": {"system": {"duration": "1h"}},
+            },
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(JobspecError):
+            parse_jobspec(bad)
+
+    def test_invalid_yaml_text(self):
+        with pytest.raises(JobspecError):
+            parse_jobspec("{unbalanced: [")
+
+    def test_file_loading(self, tmp_path):
+        path = tmp_path / "job.yaml"
+        path.write_text(FIG4A_YAML)
+        from repro.jobspec import load_jobspec_file
+
+        assert load_jobspec_file(str(path)).duration == 7200
+
+
+class TestBuilders:
+    def test_simple_node_jobspec_shape(self):
+        js = simple_node_jobspec(cores=10, memory=8, ssds=1, duration=60)
+        assert js.duration == 60
+        assert js.totals() == {"node": 1, "core": 10, "memory": 8, "ssd": 1}
+        node = js.resources[0]
+        assert node.type == "node" and node.exclusive is None
+        assert node.with_[0].is_slot
+
+    def test_simple_node_exclusive_flag(self):
+        js = simple_node_jobspec(cores=1, node_exclusive=True)
+        assert js.resources[0].effective_exclusive() is True
+
+    def test_pool_jobspec_fig4c(self):
+        js = pool_jobspec("io_bandwidth", 128, within="pfs")
+        assert js.totals() == {"pfs": 1, "io_bandwidth": 128}
+        assert js.resources[0].type == "pfs"
+
+    def test_pool_jobspec_bare(self):
+        js = pool_jobspec("memory", 64)
+        assert js.resources[0].is_slot
+
+    def test_nodes_jobspec_shared_variant(self):
+        js = nodes_jobspec(3, exclusive=False)
+        node = js.resources[0].with_[0]
+        assert node.effective_exclusive(inherited=True) is False
+
+    def test_from_counts(self):
+        js = from_counts({"core": 4, "gpu": 1}, duration=10)
+        assert js.totals() == {"core": 4, "gpu": 1}
+        assert js.duration == 10
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@st.composite
+def request_trees(draw, depth=0):
+    """Random small request trees over a fixed type alphabet."""
+    rtype = draw(st.sampled_from(["rack", "node", "socket", "core", "memory"]))
+    count = draw(st.integers(1, 4))
+    children = ()
+    if depth < 2 and draw(st.booleans()):
+        children = tuple(
+            draw(request_trees(depth=depth + 1))
+            for _ in range(draw(st.integers(1, 2)))
+        )
+    return ResourceRequest(type=rtype, count=count, with_=children)
+
+
+@given(request_trees())
+@settings(max_examples=60, deadline=None)
+def test_property_totals_match_bruteforce(tree):
+    js = Jobspec(resources=(tree,), duration=10)
+
+    def brute(request, multiplier):
+        out = {}
+        if not request.is_slot:
+            out[request.type] = multiplier * request.count
+        for child in request.with_:
+            for rtype, count in brute(child, multiplier * request.count).items():
+                out[rtype] = out.get(rtype, 0) + count
+        return out
+
+    assert js.totals() == brute(tree, 1)
+
+
+@given(request_trees())
+@settings(max_examples=60, deadline=None)
+def test_property_dict_round_trip_preserves_structure(tree):
+    js = Jobspec(resources=(tree,), duration=42)
+    again = parse_jobspec(js.to_dict())
+    assert again.summary() == js.summary()
+    assert again.totals() == js.totals()
+    assert again.duration == 42

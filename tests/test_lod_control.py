@@ -1,0 +1,117 @@
+"""Tests for dynamic level-of-detail control (§3.3): coarsen/refine pools."""
+
+import pytest
+
+from repro.errors import ResourceGraphError
+from repro.grug import tiny_cluster
+from repro.jobspec import simple_node_jobspec
+from repro.match import Traverser
+from repro.resource import coarsen_pools, refine_pool
+
+
+def memory_cluster(pools=4, size=16):
+    return tiny_cluster(racks=1, nodes_per_rack=1, cores=4,
+                        memory_pools=pools, memory_size=size)
+
+
+class TestCoarsen:
+    def test_merge_conserves_capacity(self):
+        g = memory_cluster(pools=4, size=16)
+        before = g.total_by_type()
+        merged = coarsen_pools(g, g.find(type="memory"))
+        assert merged.size == 64
+        assert g.total_by_type() == before
+        assert len(g.find(type="memory")) == 1
+
+    def test_matching_still_works_after_merge(self):
+        g = memory_cluster(pools=4, size=16)
+        coarsen_pools(g, g.find(type="memory"))
+        t = Traverser(g, policy="low")
+        alloc = t.allocate(simple_node_jobspec(cores=1, memory=40, duration=10), at=0)
+        assert alloc.amount_of("memory") == 40
+        mem_sel = [s for s in alloc.resources() if s.type == "memory"]
+        assert len(mem_sel) == 1  # single coarse pool now
+
+    def test_filters_stay_valid(self):
+        g = memory_cluster(pools=4, size=16)
+        coarsen_pools(g, g.find(type="memory"))
+        assert g.root.prune_filters.total("memory") == 64
+        t = Traverser(g, policy="low")
+        assert t.allocate_orelse_reserve(
+            simple_node_jobspec(cores=1, memory=64, duration=10), now=0
+        ) is not None
+
+    def test_busy_pool_refused(self):
+        g = memory_cluster()
+        t = Traverser(g, policy="low")
+        t.allocate(simple_node_jobspec(cores=1, memory=8, duration=100), at=0)
+        with pytest.raises(ResourceGraphError):
+            coarsen_pools(g, g.find(type="memory"))
+
+    def test_mixed_types_refused(self):
+        g = memory_cluster()
+        vertices = [g.find(type="memory")[0], g.find(type="core")[0]]
+        with pytest.raises(ResourceGraphError):
+            coarsen_pools(g, vertices)
+
+    def test_mixed_parents_refused(self):
+        g = tiny_cluster(racks=1, nodes_per_rack=2, memory_pools=1)
+        with pytest.raises(ResourceGraphError):
+            coarsen_pools(g, g.find(type="memory"))
+
+    def test_too_few_pools(self):
+        g = memory_cluster(pools=1)
+        with pytest.raises(ResourceGraphError):
+            coarsen_pools(g, g.find(type="memory"))
+
+    def test_non_leaf_refused(self):
+        g = memory_cluster()
+        with pytest.raises(ResourceGraphError):
+            coarsen_pools(g, g.find(type="node") + g.find(type="node"))
+
+
+class TestRefine:
+    def test_split_conserves_capacity(self):
+        g = memory_cluster(pools=1, size=64)
+        before = g.total_by_type()
+        parts = refine_pool(g, g.find(type="memory")[0], [16, 16, 32])
+        assert [p.size for p in parts] == [16, 16, 32]
+        assert g.total_by_type() == before
+
+    def test_roundtrip_refine_then_coarsen(self):
+        g = memory_cluster(pools=1, size=60)
+        parts = refine_pool(g, g.find(type="memory")[0], [20, 20, 20])
+        merged = coarsen_pools(g, parts)
+        assert merged.size == 60
+        t = Traverser(g, policy="low")
+        assert t.allocate(
+            simple_node_jobspec(cores=1, memory=60, duration=5), at=0
+        ) is not None
+
+    def test_core_pool_promotion(self):
+        """Low-LOD core pools promoted to singleton cores (§3.3 example)."""
+        from repro.grug import build_lod
+
+        g = build_lod("low", racks=1, nodes_per_rack=1)
+        node = g.find(type="node")[0]
+        pool = [c for c in g.children(node) if c.type == "core"][0]
+        assert pool.size == 5
+        singles = refine_pool(g, pool, [1] * 5)
+        assert all(c.size == 1 for c in singles)
+        assert g.total_by_type()["core"] == 40
+
+    @pytest.mark.parametrize(
+        "parts",
+        [[64], [32, 16], [0, 64], [-1, 65]],
+    )
+    def test_bad_parts(self, parts):
+        g = memory_cluster(pools=1, size=64)
+        with pytest.raises(ResourceGraphError):
+            refine_pool(g, g.find(type="memory")[0], parts)
+
+    def test_busy_pool_refused(self):
+        g = memory_cluster(pools=1, size=64)
+        t = Traverser(g, policy="low")
+        t.allocate(simple_node_jobspec(cores=1, memory=8, duration=100), at=0)
+        with pytest.raises(ResourceGraphError):
+            refine_pool(g, g.find(type="memory")[0], [32, 32])

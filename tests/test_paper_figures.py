@@ -1,0 +1,281 @@
+"""Tests reproducing the paper's worked examples figure by figure.
+
+* Fig 1a/1b — containment and network (conduit-of) modeling;
+* Fig 2 — the pruning + Scheduler-Driven Filter Update walkthrough;
+* Fig 3 — the Planner example (see also tests/test_planner.py);
+* Fig 4a/4b/4c — the three canonical jobspecs;
+* Fig 5a/5b — traditional vs disaggregated system models.
+"""
+
+import pytest
+
+from repro.grug import (
+    disaggregated_system,
+    edge_local_bandwidth_job,
+    fat_tree_cluster,
+    tiny_cluster,
+)
+from repro.jobspec import nodes_jobspec, parse_jobspec
+from repro.match import Traverser
+from repro.resource import ResourceGraph
+
+
+class TestFig1Modeling:
+    def test_contains_relationship(self):
+        """Fig 1a: cluster -contains-> rack; edges carry type + subsystem."""
+        g = ResourceGraph()
+        cluster, rack = g.add_vertex("cluster"), g.add_vertex("rack")
+        edge = g.add_edge(cluster, rack)
+        assert edge.type == "contains"
+        assert edge.subsystem == "containment"
+
+    def test_conduit_of_relationship(self):
+        """Fig 1b: IB core switch -conduit-of-> edge switch -> nodes."""
+        g = fat_tree_cluster(racks=2, nodes_per_rack=2)
+        core = g.find(type="core_switch")[0]
+        edges = g.children(core, "network")
+        assert {e.type for e in edges} == {"edge_switch", "bandwidth"}
+        for e in g.out_edges(core, "network"):
+            if g.vertex(e.dst).type == "edge_switch":
+                assert e.type == "conduit-of"
+
+    def test_network_and_containment_coexist(self):
+        g = fat_tree_cluster(racks=2, nodes_per_rack=2)
+        node = g.find(type="node")[0]
+        assert g.parents(node, "containment")[0].type == "rack"
+        assert g.parents(node, "network")[0].type == "edge_switch"
+
+
+class TestFig2PruningAndSdfu:
+    """The paper's walkthrough: a 2-node/1-unit request at the earliest
+    feasible time lands on rack2 because rack1's filter prunes its subtree,
+    and SDFU updates rack2's and the cluster's aggregates afterwards."""
+
+    def build(self):
+        g = tiny_cluster(racks=2, nodes_per_rack=4, cores=1, gpus=0,
+                         memory_pools=0, prune_types=("node",))
+        t = Traverser(g, policy="low")
+        # Everything busy until t=2; rack1 (named rack0 here) busy until 5.
+        t.allocate(nodes_jobspec(8, duration=2), at=0)
+        rack1_nodes = [
+            n for n in g.find(type="node")
+            if g.parents(n)[0].id == 0
+        ]
+        for node in rack1_nodes:
+            t.allocate_orelse_reserve(nodes_jobspec(1, duration=3), now=2)
+        return g, t
+
+    def test_request_lands_on_rack2_at_t2(self):
+        g, t = self.build()
+        alloc = t.allocate_orelse_reserve(nodes_jobspec(2, duration=1), now=0)
+        assert alloc.at == 2  # the minimum time point the cluster filter finds
+        racks = {g.parents(n)[0].id for n in alloc.nodes()}
+        assert racks == {1}  # rack1's subtree was unusable (its nodes busy)
+
+    def test_rack1_subtree_pruned(self):
+        g1, t1 = self.build()
+        t1.allocate_orelse_reserve(nodes_jobspec(2, duration=1), now=0)
+        pruned_visits = t1.stats["visits"]
+        g2, t2 = self.build()
+        t2.prune = False
+        t2.allocate_orelse_reserve(nodes_jobspec(2, duration=1), now=0)
+        unpruned_visits = t2.stats["visits"]
+        assert pruned_visits < unpruned_visits
+
+    def test_sdfu_updates_ancestors_of_selection_only(self):
+        g, t = self.build()
+        rack1, rack2 = sorted(g.find(type="rack"), key=lambda v: v.id)
+        r2_before = rack2.prune_filters.planner("node").avail_resources_at(2)
+        r1_before = rack1.prune_filters.planner("node").avail_resources_at(2)
+        cl_before = g.root.prune_filters.planner("node").avail_resources_at(2)
+        t.allocate_orelse_reserve(nodes_jobspec(2, duration=1), now=0)
+        assert (
+            rack2.prune_filters.planner("node").avail_resources_at(2)
+            == r2_before - 2
+        )
+        assert (
+            rack1.prune_filters.planner("node").avail_resources_at(2)
+            == r1_before  # untouched: nothing selected beneath it
+        )
+        assert (
+            g.root.prune_filters.planner("node").avail_resources_at(2)
+            == cl_before - 2
+        )
+
+
+FIG4B_YAML = """
+version: 1
+resources:
+  - type: rack
+    count: 2
+    with:
+      - type: slot
+        count: 2
+        label: default
+        with:
+          - type: node
+            count: 2
+            with:
+              - {type: core, count: 22}
+              - {type: gpu, count: 2}
+attributes:
+  system: {duration: 3600}
+"""
+
+FIG4C_YAML = """
+version: 1
+resources:
+  - type: cluster
+    count: 1
+    with:
+      - type: slot
+        count: 1
+        label: default
+        with:
+          - {type: io_bandwidth, count: 128, unit: GB}
+attributes:
+  system: {duration: 3600}
+"""
+
+
+class TestFig4Jobspecs:
+    def test_fig4a_shared_node_exclusive_slot(self):
+        js = parse_jobspec("""
+version: 1
+resources:
+  - type: node
+    count: 1
+    with:
+      - type: slot
+        count: 1
+        with:
+          - type: socket
+            count: 2
+            with:
+              - {type: core, count: 5}
+              - {type: gpu, count: 1}
+              - {type: memory, count: 16, unit: GB}
+""")
+        node = js.resources[0]
+        assert not node.effective_exclusive()  # circle = shared
+        slot_req = node.with_[0]
+        assert slot_req.effective_exclusive()  # slot subtree exclusive
+        assert js.totals() == {
+            "node": 1, "socket": 2, "core": 10, "gpu": 2, "memory": 32,
+        }
+
+    def test_fig4b_rack_spread(self):
+        """4 slots of 2 nodes each spread across 2 racks."""
+        from repro.grug import build_from_recipe
+
+        g = build_from_recipe({
+            "resources": {
+                "type": "cluster",
+                "with": [{
+                    "type": "rack", "count": 2,
+                    "with": [{
+                        "type": "node", "count": 5,
+                        "with": [
+                            {"type": "core", "count": 24},
+                            {"type": "gpu", "count": 2},
+                        ],
+                    }],
+                }],
+            },
+            "prune_filters": {"types": ["core", "gpu"], "at": ["rack"]},
+        })
+        js = parse_jobspec(FIG4B_YAML)
+        alloc = Traverser(g, policy="low").allocate(js, at=0)
+        assert alloc is not None
+        nodes = alloc.nodes()
+        assert len(nodes) == 8
+        per_rack = {}
+        for node in nodes:
+            rack = g.parents(node)[0].name
+            per_rack[rack] = per_rack.get(rack, 0) + 1
+        assert per_rack == {"rack0": 4, "rack1": 4}
+
+    def test_fig4c_io_bandwidth_in_pfs(self):
+        """128 I/O bandwidth units within the cluster's parallel file system."""
+        g = ResourceGraph()
+        cluster = g.add_vertex("cluster")
+        pfs = g.add_vertex("pfs")
+        g.add_edge(cluster, pfs)
+        bw = g.add_vertex("io_bandwidth", size=1000)
+        g.add_edge(pfs, bw)
+        node = g.add_vertex("node")
+        g.add_edge(cluster, node)
+        js = parse_jobspec(FIG4C_YAML)
+        alloc = Traverser(g).allocate(js, at=0)
+        assert alloc is not None
+        assert alloc.amount_of("io_bandwidth") == 128
+        assert bw.plans.avail_resources_at(100) == 872
+
+
+class TestFig5Models:
+    def test_traditional_vs_disaggregated_same_request(self):
+        """The same aggregate request matches both architectures (§5.4)."""
+        from repro.jobspec import from_counts
+
+        traditional = tiny_cluster(racks=2, nodes_per_rack=2, cores=8,
+                                   gpus=2, memory_pools=2, memory_size=32)
+        disaggregated = disaggregated_system(
+            cpu_racks=1, gpu_racks=1, memory_racks=1, bb_racks=1,
+            cpus_per_rack=32, gpus_per_rack=8,
+        )
+        request = from_counts({"core": 8, "gpu": 2, "memory": 64}, duration=10)
+        for graph in (traditional, disaggregated):
+            alloc = Traverser(graph, policy="low").allocate(request, at=0)
+            assert alloc is not None
+            assert alloc.amount_of("core") == 8
+            assert alloc.amount_of("gpu") == 2
+            assert alloc.amount_of("memory") == 64
+
+
+class TestFatTreeNetwork:
+    def test_edge_locality_enforced(self):
+        g = fat_tree_cluster(racks=3, nodes_per_rack=2, edge_bandwidth=100)
+        t = Traverser(g, subsystem="network", policy="low")
+        alloc = t.allocate(edge_local_bandwidth_job(nodes=2, gbps=60), at=0)
+        switches = {g.parents(n, "network")[0].name for n in alloc.nodes()}
+        assert len(switches) == 1
+
+    def test_oversubscription_bound(self):
+        """Core bandwidth below sum of edges: the fabric saturates early."""
+        g = fat_tree_cluster(racks=4, nodes_per_rack=2,
+                             edge_bandwidth=100, core_bandwidth=150)
+        t = Traverser(g, subsystem="network", policy="low")
+        from repro.jobspec import Jobspec, ResourceRequest, slot
+
+        cross_rack = Jobspec(
+            resources=(
+                ResourceRequest(
+                    type="core_switch", count=1,
+                    with_=(slot(1, ResourceRequest(type="bandwidth",
+                                                   count=100)),),
+                ),
+            ),
+            duration=100,
+        )
+        # Hmm: core-level bandwidth requests draw from the core pool first.
+        first = t.allocate(cross_rack, at=0)
+        assert first is not None
+        second = t.allocate(cross_rack, at=0)
+        assert second is not None  # 150 core + edges... falls to edge pools
+        total_core = sum(
+            s.amount for a in (first, second) for s in a.resources()
+            if s.vertex.basename == "corebw"
+        )
+        assert total_core == 150  # the core pool is exhausted exactly
+
+    def test_bandwidth_frees_after_window(self):
+        g = fat_tree_cluster(racks=1, nodes_per_rack=2, edge_bandwidth=100)
+        t = Traverser(g, subsystem="network", policy="low")
+        a = t.allocate(edge_local_bandwidth_job(nodes=1, gbps=100,
+                                                duration=50), at=0)
+        assert t.allocate(
+            edge_local_bandwidth_job(nodes=1, gbps=10, duration=10), at=0
+        ) is None
+        assert t.allocate(
+            edge_local_bandwidth_job(nodes=1, gbps=10, duration=10), at=50
+        ) is not None

@@ -1,0 +1,406 @@
+"""Unit and property tests for the Planner (paper §4.1, Fig. 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlannerError, SpanNotFoundError
+from repro.planner import Planner
+
+
+@pytest.fixture
+def fig3_planner():
+    """The paper's Figure 3 scenario: pool of 8, horizon [0, 100)."""
+    p = Planner(8, 0, 100, resource_type="memory")
+    p.add_span(0, 1, 8)  # <8,1,0>
+    p.add_span(1, 3, 3)  # <3,3,1>
+    p.add_span(6, 1, 7)  # <7,1,6>
+    return p
+
+
+class TestConstruction:
+    def test_initial_state_fully_available(self):
+        p = Planner(16, 0, 1000)
+        assert p.avail_resources_at(0) == 16
+        assert p.avail_resources_at(999) == 16
+        assert p.point_count == 1
+        assert p.span_count == 0
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(PlannerError):
+            Planner(-1)
+
+    def test_empty_horizon_rejected(self):
+        with pytest.raises(PlannerError):
+            Planner(4, 10, 10)
+
+    def test_nonzero_plan_start(self):
+        p = Planner(4, plan_start=100, plan_end=200)
+        assert p.avail_resources_at(150) == 4
+        with pytest.raises(PlannerError):
+            p.avail_resources_at(50)
+
+    def test_zero_capacity_pool(self):
+        p = Planner(0, 0, 10)
+        assert p.avail_at(0, 0)
+        assert not p.avail_at(0, 1)
+        assert p.avail_time_first(1, 1, 0) is None
+
+
+class TestFig3Scenario:
+    """Checks the availability profile of the paper's Figure 3 example.
+
+    Spans here are half-open ([start, start+duration)); the paper's prose
+    counts endpoints inclusively, which shifts its quoted answers by a tick.
+    """
+
+    def test_profile(self, fig3_planner):
+        expected = {0: 0, 1: 5, 2: 5, 3: 5, 4: 8, 5: 8, 6: 1, 7: 8}
+        for t, avail in expected.items():
+            assert fig3_planner.avail_resources_at(t) == avail, f"t={t}"
+
+    def test_sat_during_queries(self, fig3_planner):
+        # "can 5 units for duration 2 be planned at t1?" -> yes
+        assert fig3_planner.avail_during(1, 2, 5)
+        # "... at t6?" -> no (only 1 unit remains at t6)
+        assert not fig3_planner.avail_during(6, 2, 5)
+
+    def test_earliest_fit(self, fig3_planner):
+        # 6 units first fit once the <3,3,1> span ends.
+        assert fig3_planner.avail_time_first(6, 1, 0) == 4
+        # 6 units for 2 ticks also fit at t4 (window [4,6) clears t6's span).
+        assert fig3_planner.avail_time_first(6, 2, 0) == 4
+        # 6 units for 3 ticks collide with the t6 span; first fit after it.
+        assert fig3_planner.avail_time_first(6, 3, 0) == 7
+
+    def test_earliest_fit_with_on_or_after(self, fig3_planner):
+        assert fig3_planner.avail_time_first(6, 1, 5) == 5
+        assert fig3_planner.avail_time_first(6, 1, 6) == 7
+        assert fig3_planner.avail_time_first(8, 1, 1) == 4
+
+    def test_check_invariants(self, fig3_planner):
+        fig3_planner.check_invariants()
+
+
+class TestAddSpan:
+    def test_request_exceeding_total_rejected(self):
+        p = Planner(4, 0, 10)
+        with pytest.raises(PlannerError):
+            p.add_span(0, 1, 5)
+
+    def test_overcommit_rejected(self):
+        p = Planner(4, 0, 10)
+        p.add_span(0, 5, 3)
+        with pytest.raises(PlannerError):
+            p.add_span(2, 2, 2)
+        # State unchanged by the failed add.
+        p.check_invariants()
+        assert p.span_count == 1
+
+    def test_zero_request_span_books_time_only(self):
+        p = Planner(4, 0, 10)
+        sid = p.add_span(1, 3, 0)
+        assert p.avail_resources_at(2) == 4
+        p.rem_span(sid)
+        p.check_invariants()
+
+    def test_span_to_horizon_end(self):
+        p = Planner(4, 0, 10)
+        p.add_span(8, 2, 4)
+        assert p.avail_resources_at(9) == 0
+        with pytest.raises(PlannerError):
+            p.add_span(9, 2, 1)  # would exceed horizon
+
+    def test_window_validation(self):
+        p = Planner(4, 0, 10)
+        with pytest.raises(PlannerError):
+            p.add_span(0, 0, 1)
+        with pytest.raises(PlannerError):
+            p.add_span(-1, 2, 1)
+        with pytest.raises(PlannerError):
+            p.add_span(0, 2, -1)
+
+    def test_adjacent_spans_share_no_capacity_conflict(self):
+        p = Planner(4, 0, 100)
+        p.add_span(0, 5, 4)
+        # Back-to-back span starting exactly when the first ends is fine.
+        p.add_span(5, 5, 4)
+        p.check_invariants()
+
+    def test_metadata_round_trip(self):
+        p = Planner(4, 0, 10)
+        sid = p.add_span(0, 1, 1, metadata={"job": 7})
+        assert p.get_span(sid).metadata == {"job": 7}
+
+    def test_duration_property(self):
+        p = Planner(4, 0, 10)
+        sid = p.add_span(2, 3, 1)
+        span = p.get_span(sid)
+        assert span.duration == 3
+        assert span.overlaps(4)
+        assert not span.overlaps(5)
+
+
+class TestRemSpan:
+    def test_removal_restores_availability(self):
+        p = Planner(8, 0, 100)
+        sid = p.add_span(10, 5, 6)
+        assert p.avail_resources_at(12) == 2
+        p.rem_span(sid)
+        assert p.avail_resources_at(12) == 8
+        assert p.point_count == 1  # all points garbage-collected
+        p.check_invariants()
+
+    def test_unknown_span_raises(self):
+        p = Planner(8)
+        with pytest.raises(SpanNotFoundError):
+            p.rem_span(99)
+
+    def test_shared_boundary_points_survive(self):
+        p = Planner(8, 0, 100)
+        a = p.add_span(0, 10, 2)
+        b = p.add_span(10, 10, 2)  # shares the t=10 point with span a's end
+        p.rem_span(a)
+        assert p.avail_resources_at(5) == 8
+        assert p.avail_resources_at(15) == 6
+        p.check_invariants()
+        p.rem_span(b)
+        assert p.point_count == 1
+
+    def test_interleaved_spans(self):
+        p = Planner(10, 0, 1000)
+        ids = [p.add_span(i * 2, 10, 1) for i in range(5)]
+        p.check_invariants()
+        for sid in ids[::2]:
+            p.rem_span(sid)
+        p.check_invariants()
+        assert p.span_count == 2
+
+    def test_reset(self):
+        p = Planner(10, 0, 100)
+        for i in range(5):
+            p.add_span(i, 10, 1)
+        p.reset()
+        assert p.span_count == 0
+        assert p.point_count == 1
+        assert p.avail_resources_at(5) == 10
+
+
+class TestResize:
+    def test_grow(self):
+        p = Planner(4, 0, 100)
+        p.add_span(0, 10, 4)
+        p.resize(6)
+        assert p.avail_resources_at(5) == 2
+        assert p.avail_resources_at(50) == 6
+        p.check_invariants()
+
+    def test_shrink_ok_when_unused(self):
+        p = Planner(8, 0, 100)
+        p.add_span(0, 10, 3)
+        p.resize(5)
+        assert p.avail_resources_at(5) == 2
+        p.check_invariants()
+
+    def test_shrink_below_in_use_rejected(self):
+        p = Planner(8, 0, 100)
+        p.add_span(0, 10, 6)
+        with pytest.raises(PlannerError):
+            p.resize(5)
+        assert p.total == 8
+
+    def test_resize_noop(self):
+        p = Planner(8)
+        p.resize(8)
+        assert p.total == 8
+
+
+class TestAvailTimeFirst:
+    def test_never_available(self):
+        p = Planner(4, 0, 100)
+        assert p.avail_time_first(5, 1, 0) is None
+
+    def test_full_horizon_blocked(self):
+        p = Planner(4, 0, 10)
+        p.add_span(0, 10, 4)
+        assert p.avail_time_first(1, 1, 0) is None
+
+    def test_fit_in_gap_between_spans(self):
+        p = Planner(4, 0, 100)
+        p.add_span(0, 10, 4)
+        p.add_span(20, 10, 4)
+        assert p.avail_time_first(4, 10, 0) == 10
+        assert p.avail_time_first(4, 11, 0) == 30
+
+    def test_duration_longer_than_remaining_horizon(self):
+        p = Planner(4, 0, 10)
+        assert p.avail_time_first(1, 11, 0) is None
+        assert p.avail_time_first(1, 5, 6) is None
+
+    def test_on_or_after_mid_window(self):
+        p = Planner(4, 0, 100)
+        p.add_span(0, 10, 2)
+        # 2 units are available throughout; starting mid-span is fine.
+        assert p.avail_time_first(2, 5, 3) == 3
+        # 3 units only once the span ends.
+        assert p.avail_time_first(3, 5, 3) == 10
+
+    def test_result_is_truly_earliest(self):
+        p = Planner(8, 0, 1000)
+        p.add_span(0, 100, 8)
+        p.add_span(150, 100, 8)
+        p.add_span(300, 100, 5)
+        # The [100, 150) gap fits a 50-tick window but not a 60-tick one.
+        assert p.avail_time_first(4, 50, 0) == 100
+        # 60 ticks of 4 units must clear both full spans and the 5-unit one.
+        t = p.avail_time_first(4, 60, 0)
+        assert t == 400
+        assert p.avail_during(t, 60, 4)
+        assert not any(p.avail_during(u, 60, 4) for u in range(0, t))
+        # 3 units squeeze into [250, 310): the 5-unit span leaves 3 free.
+        assert p.avail_time_first(3, 60, 0) == 250
+
+
+spans_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 200),   # start
+        st.integers(1, 50),    # duration
+        st.integers(0, 16),    # request
+    ),
+    max_size=40,
+)
+
+
+@given(spans_strategy)
+@settings(max_examples=60, deadline=None)
+def test_property_planner_state_matches_naive_model(spans):
+    """The Planner must agree with a brute-force per-tick availability model."""
+    total, horizon = 16, 260
+    p = Planner(total, 0, horizon)
+    naive = [total] * horizon
+    accepted = []
+    for start, duration, request in spans:
+        fits = all(naive[t] >= request for t in range(start, start + duration))
+        if fits:
+            sid = p.add_span(start, duration, request)
+            for t in range(start, start + duration):
+                naive[t] -= request
+            accepted.append(sid)
+        else:
+            with pytest.raises(PlannerError):
+                p.add_span(start, duration, request)
+    for t in range(horizon):
+        assert p.avail_resources_at(t) == naive[t], f"t={t}"
+    p.check_invariants()
+
+
+@given(spans_strategy, st.integers(1, 16), st.integers(1, 30))
+@settings(max_examples=40, deadline=None)
+def test_property_avail_time_first_matches_naive_scan(spans, request, duration):
+    total, horizon = 16, 260
+    p = Planner(total, 0, horizon)
+    naive = [total] * horizon
+    for start, dur, req in spans:
+        if all(naive[t] >= req for t in range(start, start + dur)):
+            p.add_span(start, dur, req)
+            for t in range(start, start + dur):
+                naive[t] -= req
+    expected = next(
+        (
+            t
+            for t in range(horizon - duration + 1)
+            if all(naive[u] >= request for u in range(t, t + duration))
+        ),
+        None,
+    )
+    assert p.avail_time_first(request, duration, 0) == expected
+
+
+@given(spans_strategy, st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_property_add_then_remove_all_restores_initial_state(spans, rnd):
+    p = Planner(16, 0, 260)
+    ids = []
+    for start, duration, request in spans:
+        try:
+            ids.append(p.add_span(start, duration, request))
+        except PlannerError:
+            pass
+    rnd.shuffle(ids)
+    for sid in ids:
+        p.rem_span(sid)
+    assert p.span_count == 0
+    assert p.point_count == 1
+    assert p.avail_resources_at(0) == 16
+    p.check_invariants()
+
+
+class TestNextEventTime:
+    def test_empty_planner_has_no_events(self):
+        p = Planner(4, 0, 100)
+        assert p.next_event_time(0) is None
+
+    def test_events_at_span_boundaries(self):
+        p = Planner(4, 0, 100)
+        p.add_span(10, 5, 2)
+        assert p.next_event_time(0) == 10
+        assert p.next_event_time(10) == 15
+        assert p.next_event_time(15) is None
+
+    def test_strictly_after(self):
+        p = Planner(4, 0, 100)
+        p.add_span(0, 10, 1)
+        # The base point at t=0 exists, but events must be strictly later.
+        assert p.next_event_time(0) == 10
+
+
+@given(
+    spans_strategy,
+    st.lists(st.tuples(st.integers(0, 30), st.integers(1, 259)), max_size=15),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_update_span_end_matches_naive_model(spans, updates):
+    """Random add/update-end sequences agree with a per-tick availability
+    model, and every accepted update keeps the planner internally sound."""
+    total, horizon = 16, 260
+    p = Planner(total, 0, horizon)
+    naive = [total] * horizon
+    live = []  # (span_id, start, end, request)
+    for start, duration, request in spans:
+        end = min(start + duration, horizon)
+        if end <= start:
+            continue
+        if all(naive[t] >= request for t in range(start, end)):
+            sid = p.add_span(start, end - start, request)
+            for t in range(start, end):
+                naive[t] -= request
+            live.append([sid, start, end, request])
+    for index, new_end in updates:
+        if not live:
+            break
+        record = live[index % len(live)]
+        sid, start, end, request = record
+        if new_end <= start or new_end > horizon:
+            with pytest.raises(PlannerError):
+                p.update_span_end(sid, new_end)
+            continue
+        if new_end > end:
+            fits = all(naive[t] >= request for t in range(end, new_end))
+            if not fits:
+                with pytest.raises(PlannerError):
+                    p.update_span_end(sid, new_end)
+                continue
+            p.update_span_end(sid, new_end)
+            for t in range(end, new_end):
+                naive[t] -= request
+        else:
+            p.update_span_end(sid, new_end)
+            for t in range(new_end, end):
+                naive[t] += request
+        record[2] = new_end
+    for t in range(0, horizon, 3):
+        assert p.avail_resources_at(t) == naive[t], t
+    p.check_invariants()
+    for sid, *_ in live:
+        p.rem_span(sid)
+    assert p.point_count == 1

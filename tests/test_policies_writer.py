@@ -1,0 +1,194 @@
+"""Unit tests for match policies and the Allocation writer."""
+
+import pytest
+
+from repro.errors import MatchError
+from repro.jobspec import ResourceRequest
+from repro.match import (
+    POLICIES,
+    Allocation,
+    Selection,
+    VariationAware,
+    make_policy,
+)
+from repro.match.traverser import Candidate
+from repro.resource import ResourceGraph
+
+
+def make_vertices(n, type="node", **props):
+    g = ResourceGraph()
+    cluster = g.add_vertex("cluster")
+    out = []
+    for i in range(n):
+        v = g.add_vertex(type, properties=dict(props))
+        g.add_edge(cluster, v)
+        out.append(v)
+    return g, out
+
+
+def candidates(vertices):
+    return [Candidate(v) for v in vertices]
+
+
+class TestPolicyOrdering:
+    def test_registry_complete(self):
+        assert set(POLICIES) == {
+            "first", "high", "low", "locality", "variation",
+            "variation-greedy",
+        }
+        for name in POLICIES:
+            assert make_policy(name).name == name
+
+    def test_unknown_policy(self):
+        with pytest.raises(MatchError):
+            make_policy("nope")
+
+    def test_first_keeps_discovery_order(self):
+        _, vs = make_vertices(4)
+        policy = make_policy("first")
+        cands = candidates(vs[::-1])
+        assert policy.order(cands, ResourceRequest(type="node")) == cands
+
+    def test_low_and_high_order(self):
+        _, vs = make_vertices(4)
+        request = ResourceRequest(type="node")
+        low = make_policy("low").order(candidates(vs[::-1]), request)
+        high = make_policy("high").order(candidates(vs), request)
+        assert [c.vertex.id for c in low] == [0, 1, 2, 3]
+        assert [c.vertex.id for c in high] == [3, 2, 1, 0]
+
+    def test_locality_groups_by_path(self):
+        g = ResourceGraph()
+        cluster = g.add_vertex("cluster")
+        nodes = []
+        for r in range(2):
+            rack = g.add_vertex("rack")
+            g.add_edge(cluster, rack)
+            for _ in range(2):
+                node = g.add_vertex("node")
+                g.add_edge(rack, node)
+                nodes.append(node)
+        shuffled = [nodes[2], nodes[0], nodes[3], nodes[1]]
+        ordered = make_policy("locality").order(
+            candidates(shuffled), ResourceRequest(type="node")
+        )
+        paths = [c.vertex.path() for c in ordered]
+        assert paths == sorted(paths)
+
+    def test_order_empty(self):
+        policy = make_policy("low")
+        assert policy.order([], ResourceRequest(type="node")) == []
+
+
+class TestVariationChoose:
+    def make(self, classes):
+        g, vs = make_vertices(len(classes))
+        for v, cls in zip(vs, classes):
+            v.properties["perf_class"] = cls
+        return candidates(vs)
+
+    def test_prefers_zero_spread_window(self):
+        cands = self.make([1, 5, 5, 5, 2])
+        chosen = VariationAware().choose(cands, 3, ResourceRequest(type="node"))
+        classes = [c.vertex.properties["perf_class"] for c in chosen[:3]]
+        assert classes == [5, 5, 5]
+
+    def test_minimizes_spread_when_no_perfect_window(self):
+        cands = self.make([1, 2, 4, 5])
+        chosen = VariationAware().choose(cands, 2, ResourceRequest(type="node"))
+        classes = sorted(c.vertex.properties["perf_class"] for c in chosen[:2])
+        assert classes in ([1, 2], [4, 5])
+
+    def test_returns_fallbacks_after_window(self):
+        cands = self.make([1, 1, 3, 3])
+        chosen = VariationAware().choose(cands, 2, ResourceRequest(type="node"))
+        assert len(chosen) == 4  # window first, rest appended
+
+    def test_short_feasible_set(self):
+        cands = self.make([1, 2])
+        chosen = VariationAware().choose(cands, 5, ResourceRequest(type="node"))
+        assert len(chosen) == 2
+
+    def test_needed_zero(self):
+        assert VariationAware().choose([], 0, ResourceRequest(type="node")) == []
+
+    def test_missing_class_defaults(self):
+        g, vs = make_vertices(3)
+        vs[1].properties["perf_class"] = 2
+        policy = VariationAware(default_class=0)
+        chosen = policy.choose(candidates(vs), 2, ResourceRequest(type="node"))
+        classes = [c.vertex.properties.get("perf_class", 0) for c in chosen[:2]]
+        assert classes == [0, 0]
+
+
+class TestAllocationWriter:
+    def make_alloc(self):
+        g, vs = make_vertices(2)
+        core = g.add_vertex("core")
+        g.add_edge(vs[0], core)
+        mem = g.add_vertex("memory", size=32)
+        g.add_edge(vs[0], mem)
+        selections = [
+            Selection(g.root, 0, False, passthrough=True),
+            Selection(vs[0], 0, False),
+            Selection(core, 1, True),
+            Selection(mem, 8, False),
+        ]
+        return Allocation(
+            alloc_id=7, at=100, duration=50, reserved=True,
+            selections=selections,
+        )
+
+    def test_resources_exclude_passthrough(self):
+        alloc = self.make_alloc()
+        assert {s.type for s in alloc.resources()} == {"node", "core", "memory"}
+
+    def test_amounts_and_lookups(self):
+        alloc = self.make_alloc()
+        assert alloc.amount_of("memory") == 8
+        assert alloc.amount_of("core") == 1
+        assert alloc.amount_of("cluster") == 0
+        assert len(alloc.nodes()) == 1
+        assert alloc.end == 150
+
+    def test_rlite_document(self):
+        rlite = self.make_alloc().to_rlite()
+        assert rlite["execution"] == {
+            "starttime": 100,
+            "expiration": 150,
+            "reserved": True,
+        }
+        entries = {entry["type"]: entry for entry in rlite["resources"]}
+        assert entries["core"]["exclusive"] is True
+        assert entries["memory"]["count"] == 8
+        assert "cluster" not in entries
+        assert entries["node"]["path"].startswith("/cluster0")
+
+    def test_summary_mentions_reservation(self):
+        text = self.make_alloc().summary()
+        assert "reserved" in text
+        assert "memory:8" in text
+
+
+class TestPrettyWriter:
+    def test_tree_rendering(self):
+        from repro.grug import tiny_cluster
+        from repro.jobspec import simple_node_jobspec
+        from repro.match import Traverser
+
+        g = tiny_cluster(racks=1, nodes_per_rack=2, cores=4)
+        t = Traverser(g, policy="low")
+        alloc = t.allocate(simple_node_jobspec(cores=2, memory=8, duration=10),
+                           at=0)
+        pretty = alloc.to_pretty()
+        lines = pretty.splitlines()
+        assert lines[0] == "cluster0"
+        assert any(line.strip() == "rack0" for line in lines)
+        assert any("core0!" in line for line in lines)
+        assert any("memory0[8GB]" in line for line in lines)
+        # Indentation deepens along the containment path.
+        def indent_of(token):
+            line = next(l for l in lines if l.strip().startswith(token))
+            return len(line) - len(line.lstrip())
+
+        assert indent_of("cluster0") < indent_of("rack0") < indent_of("core0!")

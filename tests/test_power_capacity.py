@@ -1,0 +1,144 @@
+"""Tests for power-aware scheduling and variable-capacity outages."""
+
+import pytest
+
+from repro.errors import ResourceGraphError
+from repro.grug import tiny_cluster
+from repro.jobspec import nodes_jobspec, simple_node_jobspec
+from repro.match import Traverser
+from repro.sched import CapacitySchedule, ClusterSimulator
+from repro.usecases import PowerAwareScheduler, power_capped_cluster, power_job
+
+
+class TestPowerAwareScheduling:
+    def test_rack_power_enforced(self):
+        graph = power_capped_cluster(racks=2, rack_power_cap=1000)
+        sched = PowerAwareScheduler(graph)
+        a = sched.submit(cores=1, rack_watts=700, duration=100)
+        b = sched.submit(cores=1, rack_watts=700, duration=100)
+        assert not a.reserved and not b.reserved
+        rack_a = graph.parents(a.nodes()[0])[0]
+        rack_b = graph.parents(b.nodes()[0])[0]
+        assert rack_a is not rack_b  # second job pushed to the other PDU
+
+    def test_headroom_reporting(self):
+        graph = power_capped_cluster(racks=2, rack_power_cap=1000)
+        sched = PowerAwareScheduler(graph)
+        sched.submit(cores=1, rack_watts=600, duration=100)
+        headroom = sched.headroom(at=50)
+        assert sorted(headroom.values()) == [400, 1000]
+
+    def test_power_blocked_job_reserves(self):
+        graph = power_capped_cluster(racks=1, nodes_per_rack=4,
+                                     rack_power_cap=1000)
+        sched = PowerAwareScheduler(graph)
+        sched.submit(cores=1, rack_watts=1000, duration=200)
+        # Plenty of cores left, but zero watts: must reserve at t=200.
+        blocked = sched.submit(cores=1, rack_watts=100, duration=50)
+        assert blocked.reserved and blocked.at == 200
+
+    def test_cluster_level_budget_binds(self):
+        graph = power_capped_cluster(
+            racks=2, rack_power_cap=1000, cluster_power_cap=1500
+        )
+        sched = PowerAwareScheduler(graph)
+        a = sched.submit(cores=1, rack_watts=900, cluster_watts=900,
+                         duration=100)
+        assert not a.reserved
+        # Second 900 W job fits its rack but not the cluster budget.
+        b = sched.submit(cores=1, rack_watts=900, cluster_watts=900,
+                         duration=100)
+        assert b.reserved and b.at == 100
+
+    def test_power_job_shape(self):
+        js = power_job(cores=4, rack_watts=500, cluster_watts=200)
+        totals = js.totals()
+        assert totals["power"] == 500
+        assert totals["facility_power"] == 200
+        assert totals["core"] == 4
+
+    def test_free_restores_watts(self):
+        graph = power_capped_cluster(racks=1, rack_power_cap=800)
+        sched = PowerAwareScheduler(graph)
+        alloc = sched.submit(cores=2, rack_watts=800, duration=100)
+        sched.free(alloc)
+        assert set(sched.headroom(at=50).values()) == {800}
+
+
+class TestCapacitySchedule:
+    def make(self):
+        graph = tiny_cluster(racks=2, nodes_per_rack=2, cores=4)
+        return graph, CapacitySchedule(graph), Traverser(graph, policy="low")
+
+    def test_outage_removes_capacity_in_window(self):
+        graph, schedule, traverser = self.make()
+        rack = graph.find(type="rack")[0]
+        schedule.add_outage(rack, start=100, duration=50, reason="maintenance")
+        assert schedule.capacity_at("node", 120) == 2
+        assert schedule.capacity_at("node", 50) == 4
+        assert schedule.capacity_at("node", 150) == 4
+
+    def test_jobs_route_around_maintenance(self):
+        graph, schedule, traverser = self.make()
+        rack = graph.find(type="rack")[0]
+        schedule.add_outage(rack, start=100, duration=100)
+        # A 4-node job cannot overlap the window: earliest full-width slots
+        # are [0,100) or from 200 on.
+        ok = traverser.allocate(nodes_jobspec(4, duration=100), at=0)
+        assert ok is not None
+        late = traverser.allocate_orelse_reserve(
+            nodes_jobspec(4, duration=50), now=0
+        )
+        assert late.at == 200
+
+    def test_half_cluster_still_usable_during_outage(self):
+        graph, schedule, traverser = self.make()
+        rack = graph.find(type="rack")[0]
+        schedule.add_outage(rack, start=0, duration=1000)
+        alloc = traverser.allocate(nodes_jobspec(2, duration=100), at=0)
+        assert alloc is not None
+        racks = {graph.parents(n)[0] for n in alloc.nodes()}
+        assert racks == {graph.find(type="rack")[1]}
+
+    def test_conflicting_outage_refused_atomically(self):
+        graph, schedule, traverser = self.make()
+        node = graph.find(type="node")[0]
+        traverser.allocate(nodes_jobspec(4, duration=100), at=0)
+        with pytest.raises(Exception):
+            schedule.add_outage(node, start=50, duration=10)
+        # Nothing half-booked: capacity outside allocations intact.
+        traverser.remove_all()
+        assert schedule.capacity_at("node", 50) == 4
+
+    def test_cancel_restores(self):
+        graph, schedule, traverser = self.make()
+        rack = graph.find(type="rack")[0]
+        outage = schedule.add_outage(rack, start=10, duration=10)
+        assert schedule.offline_at(15) == [outage]
+        schedule.cancel(outage.outage_id)
+        assert schedule.offline_at(15) == []
+        assert schedule.capacity_at("node", 15) == 4
+        with pytest.raises(ResourceGraphError):
+            schedule.cancel(outage.outage_id)
+
+    def test_simulation_with_maintenance_window(self):
+        graph = tiny_cluster(racks=1, nodes_per_rack=2, cores=4)
+        schedule = CapacitySchedule(graph)
+        schedule.add_outage(graph.root, start=100, duration=100,
+                            reason="power emergency")
+        sim = ClusterSimulator(graph, queue="conservative")
+        early = sim.submit(nodes_jobspec(2, duration=100), at=0)
+        spanning = sim.submit(nodes_jobspec(2, duration=50), at=0)
+        report = sim.run()
+        assert early.start_time == 0
+        assert spanning.start_time == 200  # pushed past the outage
+        assert len(report.completed) == 2
+
+    def test_filters_track_outage(self):
+        graph, schedule, traverser = self.make()
+        rack = graph.find(type="rack")[0]
+        schedule.add_outage(rack, start=100, duration=100)
+        filters = graph.root.prune_filters
+        assert filters.planner("node").avail_resources_at(150) == 2
+        assert filters.planner("core").avail_resources_at(150) == 8
+        assert filters.planner("node").avail_resources_at(250) == 4

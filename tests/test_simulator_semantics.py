@@ -1,0 +1,97 @@
+"""Additional simulator semantics: run-until, resume, reports, mixed queues."""
+
+import pytest
+
+from repro.analysis import average_utilization, utilization_timeline
+from repro.grug import tiny_cluster
+from repro.jobspec import nodes_jobspec, simple_node_jobspec
+from repro.sched import ClusterSimulator, JobState
+
+
+def make_sim(queue="conservative"):
+    return ClusterSimulator(
+        tiny_cluster(racks=1, nodes_per_rack=4, cores=4),
+        match_policy="low",
+        queue=queue,
+    )
+
+
+class TestRunUntil:
+    def test_run_until_pauses_midway(self):
+        sim = make_sim()
+        a = sim.submit(nodes_jobspec(4, duration=100), at=0)
+        b = sim.submit(nodes_jobspec(4, duration=100), at=0)
+        report = sim.run(until=50)
+        assert a.state is JobState.RUNNING
+        assert b.state is JobState.RESERVED
+        assert len(report.completed) == 0
+
+    def test_resume_after_pause(self):
+        sim = make_sim()
+        a = sim.submit(nodes_jobspec(4, duration=100), at=0)
+        b = sim.submit(nodes_jobspec(4, duration=100), at=0)
+        sim.run(until=50)
+        report = sim.run()
+        assert len(report.completed) == 2
+        assert report.makespan == 200
+
+    def test_submissions_between_runs(self):
+        sim = make_sim()
+        sim.submit(nodes_jobspec(4, duration=100), at=0)
+        sim.run(until=10)
+        late = sim.submit(nodes_jobspec(2, duration=30), at=150)
+        report = sim.run()
+        assert late.start_time == 150
+        assert len(report.completed) == 2
+
+    def test_step_returns_none_when_drained(self):
+        sim = make_sim()
+        sim.submit(nodes_jobspec(1, duration=10), at=0)
+        while sim.step() is not None:
+            pass
+        assert sim.step() is None
+
+
+class TestUtilizationDuringRun:
+    def test_live_utilization_snapshot(self):
+        sim = make_sim()
+        sim.submit(nodes_jobspec(3, duration=100), at=0)
+        sim.run(until=0)
+        # While running, planners hold the spans: timeline is inspectable.
+        timeline = utilization_timeline(sim.graph, "node")
+        assert (0, 3, 4) in timeline
+        assert average_utilization(sim.graph, "node", 0, 100) == pytest.approx(0.75)
+        sim.run()
+
+    def test_reserved_jobs_visible_in_future_profile(self):
+        sim = make_sim()
+        sim.submit(nodes_jobspec(4, duration=100), at=0)
+        sim.submit(nodes_jobspec(2, duration=50), at=0)
+        sim.run(until=0)
+        profile = dict(
+            (t, used) for t, used, _ in utilization_timeline(sim.graph, "node")
+        )
+        assert profile[0] == 4
+        assert profile[100] == 2  # the reservation shows up ahead of time
+        sim.run()
+
+
+class TestMixedWorkloads:
+    @pytest.mark.parametrize("queue", ["fcfs", "easy", "conservative"])
+    def test_mixed_shared_and_exclusive(self, queue):
+        sim = make_sim(queue)
+        jobs = []
+        for i in range(3):
+            jobs.append(sim.submit(simple_node_jobspec(cores=2, duration=60), at=0))
+            jobs.append(sim.submit(nodes_jobspec(1, duration=40), at=0))
+        report = sim.run()
+        assert len(report.completed) == 6
+        for v in sim.graph.vertices():
+            assert v.plans.span_count == 0
+
+    def test_report_before_any_event(self):
+        sim = make_sim()
+        report = sim.report()
+        assert report.jobs == []
+        assert report.makespan == 0
+        assert report.mean_wait() == 0.0

@@ -1,0 +1,172 @@
+"""Direct tests for the SP and ET trees (paper §4.1, Algorithm 1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.planner.span import ScheduledPoint
+from repro.planner.trees import ETTree, SPTree
+
+
+def make_points(specs):
+    """specs: iterable of (time, remaining) with total implied as 100."""
+    return [ScheduledPoint(t, 100 - r, r) for t, r in specs]
+
+
+class TestSPTree:
+    def test_insert_and_get(self):
+        tree = SPTree()
+        points = make_points([(0, 10), (5, 3), (9, 7)])
+        for point in points:
+            tree.insert(point)
+        assert len(tree) == 3
+        assert tree.get(5) is points[1]
+        assert tree.get(4) is None
+
+    def test_state_at_floor_semantics(self):
+        tree = SPTree()
+        for point in make_points([(0, 10), (10, 5), (20, 8)]):
+            tree.insert(point)
+        assert tree.state_at(0).remaining == 10
+        assert tree.state_at(9).remaining == 10
+        assert tree.state_at(10).remaining == 5
+        assert tree.state_at(15).remaining == 5
+        assert tree.state_at(99).remaining == 8
+
+    def test_iter_range_half_open(self):
+        tree = SPTree()
+        for point in make_points([(0, 1), (5, 2), (10, 3), (15, 4)]):
+            tree.insert(point)
+        assert [p.time for p in tree.iter_range(5, 15)] == [5, 10]
+        assert [p.time for p in tree.iter_range(1, 5)] == []
+        assert [p.time for p in tree.iter_from(10)] == [10, 15]
+
+    def test_first_at_or_after(self):
+        tree = SPTree()
+        for point in make_points([(3, 1), (7, 2)]):
+            tree.insert(point)
+        assert tree.first_at_or_after(0).time == 3
+        assert tree.first_at_or_after(4).time == 7
+        assert tree.first_at_or_after(8) is None
+
+    def test_remove(self):
+        tree = SPTree()
+        points = make_points([(0, 1), (5, 2)])
+        for point in points:
+            tree.insert(point)
+        tree.remove(points[0])
+        assert tree.get(0) is None
+        assert len(tree) == 1
+        tree.check_invariants()
+
+
+class TestETTree:
+    def test_find_earliest_basic(self):
+        tree = ETTree()
+        # (time, remaining): request 5 satisfiable at times 2 and 9.
+        for point in make_points([(2, 7), (4, 3), (9, 100)]):
+            tree.insert(point)
+        assert tree.find_earliest(5).time == 2
+        assert tree.find_earliest(8).time == 9
+        assert tree.find_earliest(3).time == 2
+        assert tree.find_earliest(101) is None
+
+    def test_duplicate_remaining_values(self):
+        tree = ETTree()
+        for point in make_points([(10, 5), (3, 5), (7, 5)]):
+            tree.insert(point)
+        assert tree.find_earliest(5).time == 3
+
+    def test_remove_and_requery(self):
+        tree = ETTree()
+        points = make_points([(1, 10), (2, 10)])
+        for point in points:
+            tree.insert(point)
+        tree.remove(points[0])
+        assert tree.find_earliest(10).time == 2
+        tree.check_invariants()
+
+    def test_empty_tree(self):
+        tree = ETTree()
+        assert tree.find_earliest(1) is None
+        assert len(tree) == 0
+
+    def test_stale_key_removal_fails(self):
+        """Removal requires the remaining value from insert time (the Planner
+        re-inserts points whenever remaining changes)."""
+        tree = ETTree()
+        point = ScheduledPoint(5, 0, 10)
+        tree.insert(point)
+        point.remaining = 7
+        with pytest.raises(KeyError):
+            tree.remove(point)
+
+    def test_random_against_bruteforce(self):
+        rng = random.Random(13)
+        tree = ETTree()
+        alive = []
+        for step in range(800):
+            if alive and rng.random() < 0.4:
+                point = alive.pop(rng.randrange(len(alive)))
+                tree.remove(point)
+            else:
+                point = ScheduledPoint(step, 0, rng.randrange(0, 101))
+                tree.insert(point)
+                alive.append(point)
+            if step % 97 == 0:
+                tree.check_invariants()
+                for request in (0, 1, 50, 100):
+                    expected = min(
+                        (p.time for p in alive if p.remaining >= request),
+                        default=None,
+                    )
+                    got = tree.find_earliest(request)
+                    assert (got.time if got else None) == expected
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 10_000), st.integers(0, 128)),
+        unique_by=lambda pair: pair[0],  # unique times
+        min_size=1,
+        max_size=80,
+    ),
+    st.integers(0, 128),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_et_find_earliest_matches_bruteforce(specs, request):
+    tree = ETTree()
+    points = [ScheduledPoint(t, 0, r) for t, r in specs]
+    for point in points:
+        tree.insert(point)
+    expected = min((p.time for p in points if p.remaining >= request), default=None)
+    got = tree.find_earliest(request)
+    assert (got.time if got else None) == expected
+    tree.check_invariants()
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 500), st.integers(0, 64)),
+        unique_by=lambda pair: pair[0],
+        min_size=2,
+        max_size=60,
+    ),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_et_survives_removals(specs, rnd):
+    tree = ETTree()
+    points = [ScheduledPoint(t, 0, r) for t, r in specs]
+    for point in points:
+        tree.insert(point)
+    keep = [p for p in points if rnd.random() < 0.5]
+    for point in points:
+        if point not in keep:
+            tree.remove(point)
+    for request in (0, 32, 64):
+        expected = min((p.time for p in keep if p.remaining >= request), default=None)
+        got = tree.find_earliest(request)
+        assert (got.time if got else None) == expected

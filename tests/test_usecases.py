@@ -1,0 +1,233 @@
+"""Tests for the §5 use cases: rabbit storage, variation, converged."""
+
+import numpy as np
+import pytest
+
+from repro.grug import quartz, rabbit_system
+from repro.usecases import (
+    DefaultScheduler,
+    FluxionPlugin,
+    MiniOrchestrator,
+    PodSpec,
+    RabbitScheduler,
+    assign_perf_classes,
+    class_histogram,
+    figure_of_merit,
+    fom_histogram,
+    global_storage_job,
+    node_local_storage_job,
+    performance_classes,
+    storage_only_job,
+    synthetic_node_scores,
+)
+from repro.usecases.variation import NodeScores
+
+
+class TestVariationDataset:
+    def test_synthetic_scores_hit_published_spreads(self):
+        scores = synthetic_node_scores(2418, seed=1)
+        assert scores.n_nodes == 2418
+        assert scores.mg.max() / scores.mg.min() == pytest.approx(2.47, rel=1e-6)
+        assert scores.lulesh.max() / scores.lulesh.min() == pytest.approx(
+            1.91, rel=1e-6
+        )
+
+    def test_scores_deterministic_per_seed(self):
+        a = synthetic_node_scores(100, seed=5)
+        b = synthetic_node_scores(100, seed=5)
+        c = synthetic_node_scores(100, seed=6)
+        assert np.array_equal(a.mg, b.mg)
+        assert not np.array_equal(a.mg, c.mg)
+
+    def test_mismatched_benchmark_arrays(self):
+        with pytest.raises(ValueError):
+            NodeScores(mg=np.ones(3), lulesh=np.ones(4))
+
+    def test_eq1_binning_proportions(self):
+        """Class sizes follow Eq. 1 deciles: 10/15/15/20/40 percent."""
+        scores = synthetic_node_scores(2418)
+        hist = class_histogram(performance_classes(scores))
+        assert sum(hist) == 2418
+        expected = [242, 363, 363, 484, 967]
+        for got, want in zip(hist, expected):
+            assert abs(got - want) <= 2  # rounding at boundaries
+
+    def test_faster_nodes_get_lower_classes(self):
+        scores = synthetic_node_scores(50, seed=3)
+        classes = performance_classes(scores)
+        combined = scores.combined()
+        fastest = int(np.argmin(combined))
+        slowest = int(np.argmax(combined))
+        assert classes[fastest] == 1
+        assert classes[slowest] == 5
+
+    def test_assign_classes_to_graph(self):
+        g = quartz(racks=1, nodes_per_rack=10)
+        classes = performance_classes(synthetic_node_scores(10, seed=2))
+        assert assign_perf_classes(g, classes) == 10
+        assert all(
+            1 <= v.properties["perf_class"] <= 5 for v in g.vertices("node")
+        )
+
+
+class TestFigureOfMerit:
+    def make_nodes(self, classes):
+        g = quartz(racks=1, nodes_per_rack=len(classes))
+        nodes = sorted(g.vertices("node"), key=lambda v: v.id)
+        for node, cls in zip(nodes, classes):
+            node.properties["perf_class"] = cls
+        return nodes
+
+    def test_zero_when_same_class(self):
+        assert figure_of_merit(self.make_nodes([3, 3, 3])) == 0
+
+    def test_spread(self):
+        assert figure_of_merit(self.make_nodes([1, 4, 2])) == 3
+
+    def test_empty(self):
+        assert figure_of_merit([]) == 0
+
+    def test_fom_histogram(self):
+        from repro.match import Traverser
+        from repro.jobspec import nodes_jobspec
+
+        g = quartz(racks=1, nodes_per_rack=6)
+        for node, cls in zip(sorted(g.vertices("node"), key=lambda v: v.id),
+                             [1, 1, 2, 4, 4, 4]):
+            node.properties["perf_class"] = cls
+        t = Traverser(g, policy="variation")
+        a1 = t.allocate(nodes_jobspec(3, duration=10), at=0)  # 4,4,4 -> fom 0
+        a2 = t.allocate(nodes_jobspec(2, duration=10), at=0)  # 1,1 -> fom 0
+        a3 = t.allocate(nodes_jobspec(1, duration=10), at=0)  # fom 0
+        hist = fom_histogram([a1, a2, a3])
+        assert hist == [3, 0, 0, 0, 0]
+
+
+class TestRabbitUseCase:
+    @pytest.fixture
+    def scheduler(self):
+        return RabbitScheduler(
+            rabbit_system(chassis=3, nodes_per_chassis=2, cores_per_node=4,
+                          ssds_per_rabbit=2, ssd_size=500,
+                          namespaces_per_ssd=2)
+        )
+
+    def test_node_local_colocation(self, scheduler):
+        alloc = scheduler.allocate_node_local(
+            chassis=2, nodes_per_chassis=1, cores_per_node=2,
+            local_gb_per_chassis=200, duration=100,
+        )
+        assert alloc is not None
+        g = scheduler.graph
+        # The storage of each chassis group must come from the rabbit of a
+        # chassis that also contributed a node.
+        node_racks = {g.parents(n)[0].name for n in alloc.nodes()}
+        ssd_racks = set()
+        for sel in alloc.resources():
+            if sel.type == "ssd":
+                rabbit = g.parents(sel.vertex)[0]
+                rack_parent = [p for p in g.parents(rabbit) if p.type == "rack"][0]
+                ssd_racks.add(rack_parent.name)
+        assert ssd_racks == node_racks
+        assert len(node_racks) == 2
+
+    def test_node_local_insufficient_storage_fails(self, scheduler):
+        alloc = scheduler.allocate_node_local(
+            local_gb_per_chassis=2000, duration=10
+        )
+        assert alloc is None  # one rabbit holds only 1000 GB
+
+    def test_one_lustre_server_per_rabbit(self, scheduler):
+        allocs = [scheduler.allocate_global_fs(gb=100, duration=100)
+                  for _ in range(4)]
+        assert [a is not None for a in allocs] == [True, True, True, False]
+        rabbits = {
+            s.vertex.path("containment").rsplit("/", 1)[0]
+            for a in allocs[:3]
+            for s in a.resources()
+            if s.type == "ip"
+        }
+        assert len(rabbits) == 3  # one per rabbit, never two on one
+
+    def test_storage_only_has_no_compute(self, scheduler):
+        alloc = scheduler.allocate_storage_only(gb=300, duration=100)
+        assert alloc is not None
+        assert alloc.nodes() == []
+        assert alloc.amount_of("ssd") == 300
+
+    def test_namespace_exhaustion(self, scheduler):
+        """2 SSDs x 2 namespaces = 4 file systems max per rabbit."""
+        g = scheduler.graph
+        taken = []
+        for _ in range(12):  # 3 rabbits x 4 namespaces
+            alloc = scheduler.allocate_storage_only(gb=1, duration=100)
+            assert alloc is not None
+            taken.append(alloc)
+        assert scheduler.allocate_storage_only(gb=1, duration=100) is None
+        scheduler.free(taken[0])
+        assert scheduler.allocate_storage_only(gb=1, duration=100) is not None
+
+    def test_filesystem_kept_across_jobs(self, scheduler):
+        """Storage-only allocation persists while compute jobs come and go."""
+        fs = scheduler.allocate_storage_only(gb=400, duration=10_000)
+        job1 = scheduler.allocate_node_local(duration=100)
+        scheduler.free(job1)
+        job2 = scheduler.allocate_node_local(duration=100)
+        scheduler.free(job2)
+        assert fs.alloc_id in scheduler.traverser.allocations
+
+
+class TestConvergedUseCase:
+    def gang(self, n, cpus=4):
+        return [PodSpec(f"rank-{i}", cpus=cpus) for i in range(n)]
+
+    def test_default_scheduler_places_pods(self):
+        orch = MiniOrchestrator(nodes=3, cpus_per_node=8)
+        placement = orch.deploy(self.gang(3))
+        assert len(placement.bindings) == 3
+
+    def test_default_scheduler_strands_partial_gangs(self):
+        orch = MiniOrchestrator(nodes=2, cpus_per_node=4)
+        placement = orch.deploy(self.gang(3, cpus=4))
+        assert placement is not None and len(placement.bindings) == 2
+        # The stranded pods hold capacity: nothing else fits now.
+        assert orch.deploy(self.gang(1, cpus=4)) is None
+
+    def test_fluxion_plugin_gang_semantics(self):
+        orch = MiniOrchestrator(nodes=2, cpus_per_node=4)
+        orch.scheduler = FluxionPlugin(orch)
+        assert orch.deploy(self.gang(3, cpus=4)) is None  # all-or-nothing
+        assert all(f["cpu"] == 4 for f in orch.free.values())
+        placement = orch.deploy(self.gang(2, cpus=4))
+        assert len(placement.bindings) == 2
+
+    def test_fluxion_plugin_teardown_roundtrip(self):
+        orch = MiniOrchestrator(nodes=2, cpus_per_node=8, memory_gb_per_node=16)
+        plugin = FluxionPlugin(orch)
+        orch.scheduler = plugin
+        placement = orch.deploy(self.gang(4, cpus=4))
+        assert placement is not None
+        orch.teardown(placement)
+        assert not plugin.traverser.allocations
+        assert all(f["cpu"] == 8 for f in orch.free.values())
+
+    def test_plugin_respects_memory_and_gpu(self):
+        orch = MiniOrchestrator(nodes=1, cpus_per_node=8,
+                                memory_gb_per_node=8, gpus_per_node=1)
+        orch.scheduler = FluxionPlugin(orch)
+        assert orch.deploy([PodSpec("p", cpus=1, memory_gb=16)]) is None
+        assert orch.deploy([PodSpec("p", cpus=1, gpus=2)]) is None
+        assert orch.deploy([PodSpec("p", cpus=1, memory_gb=8, gpus=1)]) is not None
+
+    def test_shared_interface_swappable(self):
+        """The same orchestrator runs with either scheduler (separation of
+        concerns, §3.5)."""
+        for scheduler_factory in (
+            lambda orch: DefaultScheduler(),
+            lambda orch: FluxionPlugin(orch),
+        ):
+            orch = MiniOrchestrator(nodes=2, cpus_per_node=4)
+            orch.scheduler = scheduler_factory(orch)
+            placement = orch.deploy(self.gang(2, cpus=2))
+            assert placement is not None
+            orch.teardown(placement)

@@ -1,0 +1,151 @@
+"""Tests for DAG workflow scheduling on the simulator."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.grug import tiny_cluster
+from repro.jobspec import nodes_jobspec, simple_node_jobspec
+from repro.sched import ClusterSimulator, Workflow
+
+
+def sim(racks=2, nodes_per_rack=2, cores=4, queue="conservative"):
+    return ClusterSimulator(
+        tiny_cluster(racks=racks, nodes_per_rack=nodes_per_rack, cores=cores),
+        match_policy="low",
+        queue=queue,
+    )
+
+
+class TestDagConstruction:
+    def test_duplicate_name_rejected(self):
+        wf = Workflow()
+        wf.add_task("a", nodes_jobspec(1))
+        with pytest.raises(SchedulerError):
+            wf.add_task("a", nodes_jobspec(1))
+
+    def test_unknown_dependency_rejected(self):
+        wf = Workflow()
+        with pytest.raises(SchedulerError):
+            wf.add_task("b", nodes_jobspec(1), deps=["ghost"])
+
+    def test_deps_by_object_or_name(self):
+        wf = Workflow()
+        a = wf.add_task("a", nodes_jobspec(1))
+        b = wf.add_task("b", nodes_jobspec(1), deps=[a])
+        wf.add_task("c", nodes_jobspec(1), deps=["b"])
+        assert wf.tasks["c"].deps == ["b"]
+        assert b.deps == ["a"]
+
+    def test_empty_workflow_rejected(self):
+        with pytest.raises(SchedulerError):
+            Workflow().execute(sim())
+
+
+class TestExecution:
+    def test_chain_runs_sequentially(self):
+        wf = Workflow()
+        a = wf.add_task("a", nodes_jobspec(1, duration=100))
+        b = wf.add_task("b", nodes_jobspec(1, duration=100), deps=[a])
+        c = wf.add_task("c", nodes_jobspec(1, duration=100), deps=[b])
+        result = wf.execute(sim())
+        assert len(result.completed()) == 3
+        assert result.critical_path_respected()
+        assert result.makespan == 300
+
+    def test_fan_out_runs_in_parallel(self):
+        wf = Workflow()
+        pre = wf.add_task("pre", nodes_jobspec(1, duration=50))
+        members = [
+            wf.add_task(f"sim{i}", nodes_jobspec(1, duration=100), deps=[pre])
+            for i in range(4)
+        ]
+        wf.add_task("post", nodes_jobspec(4, duration=50), deps=members)
+        result = wf.execute(sim())
+        assert len(result.completed()) == 6
+        starts = {result.tasks[f"sim{i}"].job.start_time for i in range(4)}
+        assert starts == {50}  # all ensemble members start together
+        assert result.makespan == 200
+        assert result.critical_path_respected()
+
+    def test_diamond(self):
+        wf = Workflow()
+        a = wf.add_task("a", nodes_jobspec(1, duration=10))
+        b = wf.add_task("b", nodes_jobspec(1, duration=30), deps=[a])
+        c = wf.add_task("c", nodes_jobspec(1, duration=20), deps=[a])
+        wf.add_task("d", nodes_jobspec(2, duration=10), deps=[b, c])
+        result = wf.execute(sim())
+        d = result.tasks["d"].job
+        assert d.start_time == 40  # bounded by the slower branch
+        assert result.critical_path_respected()
+
+    def test_resource_contention_serializes_ensemble(self):
+        """More ensemble members than nodes: the queue policy staggers them."""
+        wf = Workflow()
+        members = [
+            wf.add_task(f"m{i}", nodes_jobspec(2, duration=100))
+            for i in range(4)
+        ]
+        result = wf.execute(sim(racks=1, nodes_per_rack=4))
+        starts = sorted(t.job.start_time for t in result.completed())
+        assert starts == [0, 0, 100, 100]
+
+    def test_unsatisfiable_task_blocks_descendants(self):
+        wf = Workflow()
+        giant = wf.add_task("giant", nodes_jobspec(99, duration=10))
+        wf.add_task("after", nodes_jobspec(1, duration=10), deps=[giant])
+        ok = wf.add_task("independent", nodes_jobspec(1, duration=10))
+        result = wf.execute(sim())
+        failed_names = {t.name for t in result.failed()}
+        assert failed_names == {"giant", "after"}
+        assert result.tasks["independent"].job.state.value == "completed"
+
+    def test_workflow_with_shared_core_tasks(self):
+        wf = Workflow()
+        a = wf.add_task("a", simple_node_jobspec(cores=2, duration=60))
+        wf.add_task("b", simple_node_jobspec(cores=2, duration=60), deps=[a])
+        result = wf.execute(sim(racks=1, nodes_per_rack=1))
+        assert result.makespan == 120
+        assert result.critical_path_respected()
+
+    def test_graph_clean_after_workflow(self):
+        simulator = sim()
+        wf = Workflow()
+        a = wf.add_task("a", nodes_jobspec(2, duration=10))
+        wf.add_task("b", nodes_jobspec(2, duration=10), deps=[a])
+        wf.execute(simulator)
+        for v in simulator.graph.vertices():
+            assert v.plans.span_count == 0
+            assert v.xplans.span_count == 0
+
+
+class TestWorkflowWithFailures:
+    def test_member_failure_retries_and_dag_completes(self):
+        """A node fails under an ensemble member; the retry keeps the DAG
+        sound (descendants wait for the retry, not the canceled original)."""
+        from repro.sched import fail_vertex
+
+        simulator = sim(racks=2, nodes_per_rack=2)
+        wf = Workflow()
+        a = wf.add_task("a", nodes_jobspec(1, duration=100))
+        wf.add_task("b", nodes_jobspec(1, duration=100), deps=[a])
+        # Start the first task, then kill its node mid-flight.
+        a.job = simulator.submit(a.jobspec, at=0, name="a")
+        simulator.step()
+        victim = a.job.allocation.nodes()[0]
+        canceled, retries = fail_vertex(simulator, victim)
+        assert canceled == [a.job]
+        # Rebind the workflow task to the retry job and let the DAG finish.
+        a.job = retries[0]
+        while True:
+            progressed = simulator.step() is not None
+            ready = wf._ready_tasks()
+            for task in ready:
+                task.job = simulator.submit(task.jobspec, at=simulator.now,
+                                            name=task.name)
+            if not progressed and not ready:
+                break
+        result_jobs = {t.name: t.job for t in wf.tasks.values()}
+        assert result_jobs["b"].state.value == "completed"
+        assert result_jobs["b"].start_time >= a.job.end_time
+        assert a.job.allocation is None or \
+            a.job.allocation.nodes()[0] is not victim
