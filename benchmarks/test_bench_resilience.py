@@ -1,0 +1,62 @@
+"""Resilience overhead: chaos throughput and invariant-auditor cost.
+
+Replays a seeded failure storm over a backfilled workload with and without
+the InvariantAuditor attached.  The auditor cross-checks every allocation,
+planner span, exclusivity hold and job state after each scheduling cycle —
+this suite measures what that costs and asserts it stays observation-only
+(identical event logs with auditing on and off).
+"""
+
+import pytest
+
+from repro import (
+    ClusterSimulator,
+    FaultInjector,
+    FaultModel,
+    RetryPolicy,
+    tiny_cluster,
+)
+from repro.workloads import synthetic_trace
+
+
+def chaos_run(audit: bool, n_jobs: int = 100):
+    g = tiny_cluster(racks=2, nodes_per_rack=8, cores=4, gpus=0,
+                     memory_pools=0)
+    sim = ClusterSimulator(
+        g,
+        match_policy="low",
+        queue="easy",
+        retry_policy=RetryPolicy(max_retries=3, backoff_base=60,
+                                 jitter=0.25, checkpoint_period=300, seed=5),
+        audit=audit,
+    )
+    for t in synthetic_trace(n_jobs=n_jobs, seed=13, max_nodes=16,
+                             min_duration=200, max_duration=4000,
+                             arrival_spread=10_000):
+        actual = int(t.duration * 1.3) if t.job_index % 5 == 0 else None
+        sim.submit(t.to_jobspec(), at=t.submit_time, actual_duration=actual)
+    FaultInjector(
+        {"node": FaultModel(mtbf=60_000, mttr=900)}, horizon=25_000, seed=21
+    ).install(sim)
+    return sim, sim.run()
+
+
+@pytest.mark.parametrize("audit", [False, True], ids=["no-audit", "audit"])
+def test_chaos_throughput(benchmark, audit):
+    sim, report = benchmark.pedantic(
+        chaos_run, args=(audit,), rounds=1, iterations=1
+    )
+    assert report.failures > 0 and report.retries > 0
+    benchmark.extra_info.update(
+        events=len(sim.event_log),
+        audits=sim.auditor.checks_run if audit else 0,
+        goodput=round(report.goodput(), 3),
+    )
+
+
+def test_auditing_is_observation_only():
+    sim_off, report_off = chaos_run(audit=False)
+    sim_on, report_on = chaos_run(audit=True)
+    assert sim_off.event_log == sim_on.event_log
+    assert report_off.makespan == report_on.makespan
+    assert sim_on.auditor.checks_run > 100

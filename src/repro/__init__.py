@@ -24,6 +24,8 @@ Subpackages
     The traverser, match policies, pruning filters and SDFU (§3.2-§3.4).
 ``repro.sched``
     Queueing/backfilling, an event simulator, elasticity, hierarchy (§5.5-§5.6).
+``repro.resilience``
+    Stochastic fault injection, retry policies, state invariant auditing.
 ``repro.baselines``
     Node-centric scheduler and naive list planner for comparison (§2).
 ``repro.usecases``
@@ -69,7 +71,15 @@ from .jobspec import (
 from .match import Allocation, MatchPolicy, Traverser, make_policy
 from .planner import Planner, PlannerMulti, Span
 from .resource import ResourceGraph, ResourceVertex
+from .resilience import (
+    FaultInjector,
+    FaultModel,
+    InvariantAuditor,
+    InvariantViolation,
+    RetryPolicy,
+)
 from .sched import (
+    CancelReason,
     CapacitySchedule,
     ClusterSimulator,
     Instance,
@@ -83,10 +93,15 @@ __version__ = "1.0.0"
 __all__ = [
     "Allocation",
     "AllocationNotFoundError",
+    "CancelReason",
     "CapacitySchedule",
     "ClusterSimulator",
+    "FaultInjector",
+    "FaultModel",
     "FluxionError",
     "Instance",
+    "InvariantAuditor",
+    "InvariantViolation",
     "Job",
     "JobError",
     "JobState",
@@ -99,6 +114,7 @@ __all__ = [
     "PlannerMulti",
     "RecipeError",
     "ResourceGraph",
+    "RetryPolicy",
     "ResourceGraphError",
     "ResourceRequest",
     "ResourceVertex",

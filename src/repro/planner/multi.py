@@ -221,6 +221,10 @@ class PlannerMulti:
     def span_count(self) -> int:
         return len(self._spans)
 
+    def has_span(self, span_id: int) -> bool:
+        """True when ``span_id`` names an active bundle span."""
+        return span_id in self._spans
+
     def check_invariants(self) -> None:
         for planner in self._planners.values():
             planner.check_invariants()

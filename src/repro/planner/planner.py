@@ -119,6 +119,10 @@ class Planner:
         except KeyError:
             raise SpanNotFoundError(span_id) from None
 
+    def has_span(self, span_id: int) -> bool:
+        """True when ``span_id`` names an active span."""
+        return span_id in self._spans
+
     # ------------------------------------------------------------------
     # availability queries
     # ------------------------------------------------------------------

@@ -1,0 +1,36 @@
+"""Resilience layer: stochastic faults, retries, and state auditing.
+
+Production resource managers live with hardware that fails under running
+jobs (Milroy et al., arXiv:2109.03739 treat resources as continuously
+appearing and disappearing).  This package supplies the pieces the
+simulator needs to model that credibly:
+
+``repro.resilience.faults``
+    :class:`FaultModel` / :class:`FaultInjector` — seeded MTBF/MTTR
+    distributions (exponential or Weibull) per resource type, or explicit
+    failure traces, converted into first-class failure/repair events on the
+    simulator's heap.
+``repro.resilience.retry``
+    :class:`RetryPolicy` — bounded retries with exponential backoff,
+    jitter, optional priority boost and checkpoint-aware work crediting.
+``repro.resilience.auditor``
+    :class:`InvariantAuditor` / :class:`InvariantViolation` — cross-checks
+    traverser allocations against planner span accounting, graph
+    exclusivity and job states after every scheduling cycle, turning
+    silent state corruption into loud, structured failures.
+"""
+
+from .auditor import InvariantAuditor, InvariantViolation, Violation
+from .faults import FaultEvent, FaultInjector, FaultModel, install_trace
+from .retry import RetryPolicy
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultModel",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "RetryPolicy",
+    "Violation",
+    "install_trace",
+]

@@ -4,7 +4,7 @@ from .capacity import CapacitySchedule, Outage
 from .elastic import grow, grow_job, resize_pool, shrink_job, shrink_subtree
 from .failures import affected_jobs, fail_vertex, repair_vertex
 from .hierarchy import Instance
-from .job import Job, JobState
+from .job import CancelReason, Job, JobState
 from .queue import (
     QUEUE_POLICIES,
     ConservativeBackfill,
@@ -17,6 +17,7 @@ from .simulator import ClusterSimulator, SimulationReport
 from .workflow import Task, Workflow, WorkflowResult
 
 __all__ = [
+    "CancelReason",
     "CapacitySchedule",
     "Outage",
     "QUEUE_POLICIES",

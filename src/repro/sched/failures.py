@@ -6,43 +6,54 @@ jobs.  With the graph model, a failure is a drain (:meth:`mark_down
 that were touching the failed subtree:
 
 * :func:`fail_vertex` — mark a vertex down mid-simulation, cancel every
-  active job holding resources beneath it, and optionally resubmit those
-  jobs (they re-queue at the current time and get rescheduled onto healthy
-  resources by the normal cycle);
-* :func:`repair_vertex` — return the vertex to service.
+  active job holding resources beneath it (cancel reason
+  ``NODE_FAILURE``), optionally resubmit those jobs per the simulator's
+  retry policy, and run a scheduling cycle so retries and survivors are
+  placed immediately;
+* :func:`repair_vertex` — return the vertex to service and reschedule.
 
-These work on a live :class:`~repro.sched.simulator.ClusterSimulator`
-without any special-casing in the scheduler itself — the traverser already
-skips down vertices.
+Both are thin wrappers over :meth:`ClusterSimulator.fail
+<repro.sched.simulator.ClusterSimulator.fail>` / :meth:`repair
+<repro.sched.simulator.ClusterSimulator.repair>`, which the simulator also
+invokes for failure/repair events scheduled on its heap (see
+:mod:`repro.resilience`).  The traverser already skips down vertices, so no
+special-casing is needed in the scheduler itself.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Set, Tuple
 
-from ..resource import ResourceVertex
-from .job import Job, JobState
+from ..resource import CONTAINMENT, ResourceVertex
+from .job import Job
 from .simulator import ClusterSimulator
 
 __all__ = ["fail_vertex", "repair_vertex", "affected_jobs"]
 
 
 def affected_jobs(sim: ClusterSimulator, vertex: ResourceVertex) -> List[Job]:
-    """Active jobs holding any resource at or below ``vertex``."""
-    prefix = vertex.path("containment")
-    doomed = []
+    """Active jobs holding any resource at or below ``vertex``.
+
+    Membership is decided on the graph's containment structure rather than
+    path-string prefixes, so root vertices, vertices without a containment
+    path, and sibling names that share a prefix (``node1`` vs ``node10``)
+    are all handled correctly.
+    """
+    doomed: Set[int] = {vertex.uniq_id}
+    if CONTAINMENT in sim.graph.subsystems:
+        for v in sim.graph.descendants(vertex):
+            doomed.add(v.uniq_id)
+    hit = []
     for job in sim.jobs.values():
         if not job.is_active or not job.allocations:
             continue
-        for alloc in job.allocations:
-            if any(
-                s.vertex is vertex
-                or s.vertex.path("containment").startswith(prefix + "/")
-                for s in alloc.selections
-            ):
-                doomed.append(job)
-                break
-    return doomed
+        if any(
+            s.vertex.uniq_id in doomed
+            for alloc in job.allocations
+            for s in alloc.selections
+        ):
+            hit.append(job)
+    return hit
 
 
 def fail_vertex(
@@ -53,26 +64,15 @@ def fail_vertex(
     """Fail ``vertex`` (and implicitly its subtree) during a simulation.
 
     Cancels every active job touching the subtree; with ``resubmit`` each
-    canceled job is resubmitted at the current simulation time (same
-    jobspec/priority) so the queue reschedules it on healthy resources.
-    Returns ``(canceled, resubmitted)`` job lists.
+    canceled job is resubmitted (same jobspec, retry-policy-governed delay
+    and priority) so the queue reschedules it on healthy resources.  A
+    scheduling cycle runs before returning.  Returns ``(canceled,
+    resubmitted)`` job lists.
     """
-    sim.graph.mark_down(vertex)
-    canceled = affected_jobs(sim, vertex)
-    resubmitted: List[Job] = []
-    for job in canceled:
-        sim.cancel(job)
-    if resubmit:
-        for job in canceled:
-            resubmitted.append(
-                sim.submit(job.jobspec, at=sim.now, name=f"{job.name}-retry",
-                           priority=job.priority)
-            )
-    return canceled, resubmitted
+    return sim.fail(vertex, resubmit=resubmit)
 
 
 def repair_vertex(sim: ClusterSimulator, vertex: ResourceVertex) -> None:
     """Return a failed vertex to service and run a scheduling cycle so
     pending work can use it immediately."""
-    sim.graph.mark_up(vertex)
-    sim._cycle()
+    sim.repair(vertex)

@@ -10,7 +10,7 @@ from ..errors import JobError
 from ..jobspec import Jobspec
 from ..match import Allocation
 
-__all__ = ["Job", "JobState"]
+__all__ = ["Job", "JobState", "CancelReason"]
 
 
 class JobState(enum.Enum):
@@ -21,6 +21,21 @@ class JobState(enum.Enum):
     RUNNING = "running"
     COMPLETED = "completed"
     CANCELED = "canceled"
+
+
+class CancelReason(enum.Enum):
+    """Why a job ended up CANCELED.
+
+    A single terminal state covers very different fates — a request the
+    machine can never satisfy, an operator's cancel, a hardware failure
+    under the job, or the job overrunning its requested walltime — and
+    reports must not conflate them.
+    """
+
+    UNSATISFIABLE = "unsatisfiable"
+    USER = "user"
+    NODE_FAILURE = "node-failure"
+    WALLTIME = "walltime"
 
 
 _TRANSITIONS = {
@@ -39,6 +54,11 @@ class Job:
     A job may hold several allocations when grown elastically (§5.5); the
     first is the primary one whose window defines start/end.  ``priority``
     orders the queue (higher first; ties by submission order).
+
+    The requested walltime is ``jobspec.duration`` — what the scheduler books.
+    ``actual_duration`` is how much work the job really needs: shorter jobs
+    complete early, longer ones are killed at the walltime limit (and may be
+    retried with the remaining work when checkpointing is configured).
     """
 
     job_id: int
@@ -50,6 +70,20 @@ class Job:
     allocations: List[Allocation] = field(default_factory=list)
     #: wall-clock seconds the scheduler spent matching this job (Fig 7b metric)
     sched_time: float = 0.0
+    #: true work requirement in ticks (None: exactly the requested walltime)
+    actual_duration: Optional[int] = None
+    #: why the job was canceled (None while not CANCELED)
+    cancel_reason: Optional[CancelReason] = None
+    #: retry generation: 0 for an original submission, +1 per resubmission
+    attempt: int = 0
+    #: job_id of the original submission this job retries (None if original)
+    retry_of: Optional[int] = None
+    #: checkpointed work carried over from killed prior attempts
+    work_credited: int = 0
+    #: ticks this job actually occupied resources (across kills/completion)
+    ran_seconds: int = 0
+    #: simulation time the job stopped running (completed or killed)
+    finished_at: Optional[int] = None
 
     @property
     def allocation(self) -> Optional[Allocation]:
@@ -71,6 +105,21 @@ class Job:
         """Ticks between submission and (planned) start."""
         start = self.start_time
         return None if start is None else start - self.submit_time
+
+    @property
+    def walltime(self) -> int:
+        """Requested walltime: the window length the scheduler books."""
+        return self.jobspec.duration
+
+    @property
+    def work_required(self) -> int:
+        """Work remaining for this attempt (defaults to the walltime)."""
+        return self.walltime if self.actual_duration is None else self.actual_duration
+
+    @property
+    def overruns(self) -> bool:
+        """True when the job needs more work than its walltime allows."""
+        return self.work_required > self.walltime
 
     def transition(self, new_state: JobState) -> None:
         """Move to ``new_state``, enforcing the lifecycle state machine."""

@@ -1,10 +1,11 @@
 """Event-driven cluster simulator.
 
 Drives a resource graph + traverser + queue policy through simulated time:
-job submissions, starts and completions are heap events; every submission or
-completion triggers a scheduling cycle.  This substitutes for the Flux
-resource manager around Fluxion (the paper's experiments only measure the
-matching layer, which is identical here).
+job submissions, starts, completions, hardware failures/repairs and walltime
+kills are heap events; every submission, completion, failure, repair or kill
+triggers a scheduling cycle.  This substitutes for the Flux resource manager
+around Fluxion (the paper's experiments only measure the matching layer,
+which is identical here).
 
 Typical use::
 
@@ -13,6 +14,14 @@ Typical use::
     sim.submit(simple_node_jobspec(cores=4, duration=600), at=0)
     report = sim.run()
     print(report.summary())
+
+Resilience: failure/repair events can be scheduled directly
+(:meth:`ClusterSimulator.schedule_failure` / :meth:`schedule_repair`) or
+generated from seeded MTBF/MTTR distributions by
+:class:`~repro.resilience.FaultInjector`.  A
+:class:`~repro.resilience.RetryPolicy` governs how killed jobs are
+resubmitted, and ``audit=True`` cross-checks scheduler state after every
+cycle (:mod:`repro.resilience.auditor`).
 """
 
 from __future__ import annotations
@@ -20,18 +29,18 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import SchedulerError
 from ..jobspec import Jobspec
 from ..match import MatchPolicy, Traverser
-from ..resource import ResourceGraph
-from .job import Job, JobState
+from ..resource import ResourceGraph, ResourceVertex
+from .job import CancelReason, Job, JobState
 from .queue import QueuePolicy, make_queue_policy
 
 __all__ = ["ClusterSimulator", "SimulationReport"]
 
-_SUBMIT, _START, _END = 0, 1, 2
+_SUBMIT, _START, _END, _FAIL, _REPAIR, _WALLTIME = 0, 1, 2, 3, 4, 5
 
 
 @dataclass
@@ -41,14 +50,49 @@ class SimulationReport:
     jobs: List[Job]
     makespan: int
     total_sched_time: float
+    #: total schedulable node pool size of the graph (for utilization)
+    node_capacity: int = 0
+    #: vertex failure events processed
+    failures: int = 0
+    #: jobs resubmitted after a failure or walltime kill
+    retries: int = 0
+    #: node-seconds of capacity unavailable due to down vertices
+    node_seconds_lost: int = 0
+    #: node-seconds of job progress discarded by kills (after checkpoints)
+    work_lost: int = 0
+    #: node-seconds jobs actually occupied resources (finished jobs only)
+    busy_node_seconds: int = 0
+    #: mean observed repair time over completed down intervals (0 if none)
+    mttr_observed: float = 0.0
 
     @property
     def completed(self) -> List[Job]:
         return [j for j in self.jobs if j.state is JobState.COMPLETED]
 
     @property
-    def unsatisfiable(self) -> List[Job]:
+    def canceled(self) -> List[Job]:
+        """Every CANCELED job, regardless of reason."""
         return [j for j in self.jobs if j.state is JobState.CANCELED]
+
+    def _by_reason(self, reason: CancelReason) -> List[Job]:
+        return [j for j in self.canceled if j.cancel_reason is reason]
+
+    @property
+    def unsatisfiable(self) -> List[Job]:
+        """Jobs the machine can never run (not failure/walltime victims)."""
+        return self._by_reason(CancelReason.UNSATISFIABLE)
+
+    @property
+    def failure_killed(self) -> List[Job]:
+        return self._by_reason(CancelReason.NODE_FAILURE)
+
+    @property
+    def walltime_exceeded(self) -> List[Job]:
+        return self._by_reason(CancelReason.WALLTIME)
+
+    @property
+    def user_canceled(self) -> List[Job]:
+        return self._by_reason(CancelReason.USER)
 
     def mean_wait(self) -> float:
         """Mean wait (submit -> start) over jobs that started."""
@@ -59,12 +103,32 @@ class SimulationReport:
         """Jobs that started the instant they were submitted (§6.3 reports 62/200)."""
         return sum(1 for j in self.jobs if j.wait_time == 0)
 
+    def utilization(self) -> float:
+        """Raw node utilization: occupied node-seconds over capacity."""
+        denom = self.node_capacity * self.makespan
+        return self.busy_node_seconds / denom if denom else 0.0
+
+    def goodput(self) -> float:
+        """Useful node utilization: occupancy minus work lost to kills."""
+        denom = self.node_capacity * self.makespan
+        if not denom:
+            return 0.0
+        return (self.busy_node_seconds - self.work_lost) / denom
+
     def summary(self) -> str:
-        return (
+        text = (
             f"{len(self.completed)}/{len(self.jobs)} jobs completed, "
             f"makespan={self.makespan}, mean wait={self.mean_wait():.1f}, "
             f"sched time={self.total_sched_time:.3f}s"
         )
+        if self.failures or self.retries:
+            text += (
+                f"; {self.failures} failures, {self.retries} retries, "
+                f"{self.node_seconds_lost} node-s down, "
+                f"{self.work_lost} node-s work lost, "
+                f"goodput={self.goodput():.2f}/{self.utilization():.2f}"
+            )
+        return text
 
 
 class ClusterSimulator:
@@ -80,6 +144,16 @@ class ClusterSimulator:
         Queue policy name (``fcfs``/``easy``/``conservative``) or instance.
     prune:
         Enable pruning filters during matching.
+    retry_policy:
+        Optional :class:`~repro.resilience.RetryPolicy` governing
+        resubmission of failure/walltime-killed jobs.  ``None`` preserves the
+        historical behaviour: immediate resubmission, no backoff, no
+        checkpointing, unlimited attempts.
+    audit:
+        Run the :class:`~repro.resilience.InvariantAuditor` after every
+        scheduling cycle, raising
+        :class:`~repro.resilience.InvariantViolation` on corrupt state.
+        Pass ``True`` for a default auditor or an auditor instance.
     """
 
     def __init__(
@@ -88,6 +162,8 @@ class ClusterSimulator:
         match_policy: "MatchPolicy | str" = "first",
         queue: "QueuePolicy | str" = "conservative",
         prune: bool = True,
+        retry_policy=None,
+        audit: bool = False,
     ) -> None:
         self.graph = graph
         self.traverser = Traverser(graph, policy=match_policy, prune=prune)
@@ -96,12 +172,26 @@ class ClusterSimulator:
         )
         self.jobs: Dict[int, Job] = {}
         self.now = graph.plan_start
-        self._events: List[tuple] = []  # (time, kind, seq, job_id)
+        self._events: List[tuple] = []  # (time, kind, seq, ref, data)
         self._seq = itertools.count()
         self._next_job_id = 1
         self._started_allocs: set = set()
-        #: chronological (time, event, job_id) log: submit/start/end/cancel
+        #: chronological (time, event, ref) log: submit/start/end/cancel/
+        #: walltime per job, fail/repair per vertex name
         self.event_log: List[tuple] = []
+        self.retry_policy = retry_policy
+        self.auditor = None
+        if audit:
+            from ..resilience.auditor import InvariantAuditor
+
+            self.auditor = audit if not isinstance(audit, bool) else InvariantAuditor()
+        # resilience accounting
+        self.failures = 0
+        self.retries = 0
+        self._down_since: Dict[int, Tuple[int, int]] = {}  # uid -> (t, nodes)
+        self._downtime: List[Tuple[int, int, int, int]] = []  # uid, t0, t1, nodes
+        self._busy_node_seconds = 0
+        self._work_lost = 0
 
     # ------------------------------------------------------------------
     # submission
@@ -112,16 +202,24 @@ class ClusterSimulator:
         at: Optional[int] = None,
         name: str = "",
         priority: int = 0,
+        actual_duration: Optional[int] = None,
     ) -> Job:
         """Queue ``jobspec`` for submission at time ``at`` (default: now).
 
         ``priority`` reorders the queue: higher-priority jobs are considered
         first by every queue policy (ties resolved by submission order).
+        ``actual_duration`` is the job's true work requirement when it
+        differs from the requested walltime (``jobspec.duration``): shorter
+        jobs complete early, longer jobs are killed at the walltime limit.
         """
         submit_time = self.now if at is None else at
         if submit_time < self.now:
             raise SchedulerError(
                 f"cannot submit in the past (t={submit_time} < now={self.now})"
+            )
+        if actual_duration is not None and actual_duration < 1:
+            raise SchedulerError(
+                f"actual_duration must be >= 1, got {actual_duration}"
             )
         job = Job(
             job_id=self._next_job_id,
@@ -129,6 +227,7 @@ class ClusterSimulator:
             submit_time=submit_time,
             name=name or f"job{self._next_job_id}",
             priority=priority,
+            actual_duration=actual_duration,
         )
         self._next_job_id += 1
         self.jobs[job.job_id] = job
@@ -136,16 +235,83 @@ class ClusterSimulator:
         self.event_log.append((submit_time, "submit", job.job_id))
         return job
 
-    def cancel(self, job: Job) -> None:
+    def cancel(self, job: Job, reason: CancelReason = CancelReason.USER) -> None:
         """Cancel a pending/reserved/running job, releasing its resources."""
         if not job.is_active:
             raise SchedulerError(f"job {job.job_id} is not active")
         for alloc in job.allocations:
             if alloc.alloc_id in self.traverser.allocations:
                 self.traverser.remove(alloc.alloc_id)
+            self._started_allocs.discard(alloc.alloc_id)
         job.allocations.clear()
+        job.cancel_reason = reason
         job.transition(JobState.CANCELED)
         self.event_log.append((self.now, "cancel", job.job_id))
+
+    # ------------------------------------------------------------------
+    # failures and repairs (resilience layer)
+    # ------------------------------------------------------------------
+    def schedule_failure(self, vertex: ResourceVertex, at: int) -> None:
+        """Enqueue a failure of ``vertex`` at simulated time ``at``."""
+        if at < self.now:
+            raise SchedulerError(
+                f"cannot schedule a failure in the past (t={at} < now={self.now})"
+            )
+        self._push(at, _FAIL, vertex.uniq_id)
+
+    def schedule_repair(self, vertex: ResourceVertex, at: int) -> None:
+        """Enqueue a repair of ``vertex`` at simulated time ``at``."""
+        if at < self.now:
+            raise SchedulerError(
+                f"cannot schedule a repair in the past (t={at} < now={self.now})"
+            )
+        self._push(at, _REPAIR, vertex.uniq_id)
+
+    def fail(
+        self, vertex: ResourceVertex, resubmit: bool = True
+    ) -> Tuple[List[Job], List[Job]]:
+        """Fail ``vertex`` now: drain it, kill the jobs beneath it, retry.
+
+        Every active job holding resources at or below ``vertex`` is
+        canceled with :attr:`CancelReason.NODE_FAILURE`; with ``resubmit``
+        each victim is resubmitted per the simulator's retry policy (or
+        immediately when no policy is set).  A scheduling cycle runs before
+        returning so survivors and retries are placed without waiting for
+        the next natural event.  Returns ``(canceled, resubmitted)``.
+        """
+        from .failures import affected_jobs
+
+        if vertex.status == "down":
+            return [], []
+        self.graph.mark_down(vertex)
+        self.failures += 1
+        self._down_since[vertex.uniq_id] = (self.now, self._node_weight(vertex))
+        self.event_log.append((self.now, "fail", vertex.name))
+        victims = affected_jobs(self, vertex)
+        retries: List[Job] = []
+        for job in victims:
+            retry = self._kill(job, CancelReason.NODE_FAILURE, retry=resubmit)
+            if retry is not None:
+                retries.append(retry)
+        self._cycle()
+        return victims, retries
+
+    def repair(self, vertex: ResourceVertex) -> None:
+        """Return a failed vertex to service and reschedule pending work."""
+        if vertex.status == "up":
+            return
+        self.graph.mark_up(vertex)
+        record = self._down_since.pop(vertex.uniq_id, None)
+        if record is not None:
+            down_at, nodes = record
+            self._downtime.append((vertex.uniq_id, down_at, self.now, nodes))
+        self.event_log.append((self.now, "repair", vertex.name))
+        self._cycle()
+
+    def reschedule(self) -> None:
+        """Run one scheduling cycle now (public hook for external changes:
+        repairs, graph growth, manual priority adjustments, ...)."""
+        self._cycle()
 
     # ------------------------------------------------------------------
     # event loop
@@ -153,51 +319,70 @@ class ClusterSimulator:
     def run(self, until: Optional[int] = None) -> SimulationReport:
         """Process events until the heap drains (or simulated ``until``)."""
         while self._events:
-            when, kind, _, job_id = self._events[0]
+            when, kind, _, ref, data = self._events[0]
             if until is not None and when > until:
                 break
             heapq.heappop(self._events)
-            self.now = max(self.now, when)
-            job = self.jobs[job_id]
-            if kind == _SUBMIT:
-                self._on_submit(job)
-            elif kind == _START:
-                self._on_start(job)
-            else:
-                self._on_end(job)
+            self._dispatch(when, kind, ref, data)
         return self.report()
 
     def step(self) -> Optional[int]:
         """Process a single event; returns its time or None when drained."""
         if not self._events:
             return None
-        when, kind, _, job_id = heapq.heappop(self._events)
-        self.now = max(self.now, when)
-        job = self.jobs[job_id]
-        if kind == _SUBMIT:
-            self._on_submit(job)
-        elif kind == _START:
-            self._on_start(job)
-        else:
-            self._on_end(job)
+        when, kind, _, ref, data = heapq.heappop(self._events)
+        self._dispatch(when, kind, ref, data)
         return when
 
     def report(self) -> SimulationReport:
-        makespan = max(
-            (j.end_time for j in self.jobs.values() if j.end_time is not None),
-            default=self.now,
+        ends = []
+        for j in self.jobs.values():
+            if j.finished_at is not None:
+                ends.append(j.finished_at)
+            elif j.end_time is not None:
+                ends.append(j.end_time)
+        makespan = max(ends, default=self.now)
+        closed = [(t1 - t0) for _, t0, t1, _ in self._downtime]
+        node_seconds_lost = sum(
+            (t1 - t0) * nodes for _, t0, t1, nodes in self._downtime
+        ) + sum(
+            (self.now - t0) * nodes for t0, nodes in self._down_since.values()
         )
         return SimulationReport(
             jobs=sorted(self.jobs.values(), key=lambda j: j.job_id),
             makespan=makespan,
             total_sched_time=sum(j.sched_time for j in self.jobs.values()),
+            node_capacity=sum(v.size for v in self.graph.vertices("node")),
+            failures=self.failures,
+            retries=self.retries,
+            node_seconds_lost=node_seconds_lost,
+            work_lost=self._work_lost,
+            busy_node_seconds=self._busy_node_seconds,
+            mttr_observed=sum(closed) / len(closed) if closed else 0.0,
         )
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _push(self, when: int, kind: int, job_id: int) -> None:
-        heapq.heappush(self._events, (when, kind, next(self._seq), job_id))
+    def _push(
+        self, when: int, kind: int, ref: int, data: Optional[int] = None
+    ) -> None:
+        heapq.heappush(self._events, (when, kind, next(self._seq), ref, data))
+
+    def _dispatch(self, when: int, kind: int, ref: int, data: Optional[int]) -> None:
+        self.now = max(self.now, when)
+        if kind == _SUBMIT:
+            self._on_submit(self.jobs[ref])
+        elif kind == _START:
+            self._on_start(self.jobs[ref], data)
+        elif kind == _END:
+            self._on_end(self.jobs[ref], data)
+        elif kind == _FAIL:
+            self.fail(self.graph.vertex(ref))
+        elif kind == _REPAIR:
+            self.repair(self.graph.vertex(ref))
+        else:
+            self._on_walltime(self.jobs[ref], data)
 
     def _pending_jobs(self) -> List[Job]:
         return [
@@ -211,29 +396,153 @@ class ClusterSimulator:
 
     def _on_submit(self, job: Job) -> None:
         if not self.traverser.satisfiable(job.jobspec):
-            job.transition(JobState.CANCELED)
-            return
+            # Failure retries are spared the insta-cancel while the shortfall
+            # is only down (not missing) hardware: they wait for the repair.
+            if not (job.attempt and self._structurally_satisfiable(job.jobspec)):
+                job.cancel_reason = CancelReason.UNSATISFIABLE
+                job.transition(JobState.CANCELED)
+                return
         self._cycle()
 
-    def _on_start(self, job: Job) -> None:
-        if job.state is JobState.RESERVED and job.start_time == self.now:
+    def _structurally_satisfiable(self, jobspec: Jobspec) -> bool:
+        """Would ``jobspec`` be satisfiable with every down vertex back up?"""
+        down = [v for v in self.graph.vertices() if v.status == "down"]
+        if not down:
+            return False
+        for v in down:
+            v.status = "up"
+        try:
+            return self.traverser.satisfiable(jobspec)
+        finally:
+            for v in down:
+                v.status = "down"
+
+    def _on_start(self, job: Job, alloc_id: Optional[int]) -> None:
+        alloc = job.allocation
+        if (
+            job.state is JobState.RESERVED
+            and alloc is not None
+            and alloc.alloc_id == alloc_id
+            and alloc.at == self.now
+        ):
             job.transition(JobState.RUNNING)
             self.event_log.append((self.now, "start", job.job_id))
 
-    def _on_end(self, job: Job) -> None:
-        # Stale events (from re-planned EASY reservations) are ignored: the
-        # job must be running and actually due to end now.
-        if job.state is not JobState.RUNNING or job.end_time != self.now:
+    def _finish_time(self, job: Job) -> Optional[int]:
+        """When the job's current allocation actually stops running."""
+        alloc = job.allocation
+        if alloc is None:
+            return None
+        return alloc.at + min(job.work_required, alloc.duration)
+
+    def _on_end(self, job: Job, alloc_id: Optional[int]) -> None:
+        # Stale events (from re-planned EASY reservations or killed jobs) are
+        # ignored: the job must be running this allocation and due to end now.
+        alloc = job.allocation
+        if (
+            job.state is not JobState.RUNNING
+            or alloc is None
+            or alloc.alloc_id != alloc_id
+            or self._finish_time(job) != self.now
+        ):
             return
-        for alloc in job.allocations:
-            if alloc.alloc_id in self.traverser.allocations:
-                self.traverser.remove(alloc.alloc_id)
+        elapsed = self.now - alloc.at
+        job.ran_seconds += elapsed
+        self._busy_node_seconds += elapsed * max(1, self._nodes_of(job))
+        for held in job.allocations:
+            if held.alloc_id in self.traverser.allocations:
+                self.traverser.remove(held.alloc_id)
+        job.finished_at = self.now
         job.transition(JobState.COMPLETED)
         self.event_log.append((self.now, "end", job.job_id))
         self._cycle()
 
+    def _on_walltime(self, job: Job, alloc_id: Optional[int]) -> None:
+        alloc = job.allocation
+        if (
+            job.state is not JobState.RUNNING
+            or alloc is None
+            or alloc.alloc_id != alloc_id
+            or alloc.end != self.now
+        ):
+            return
+        self.event_log.append((self.now, "walltime", job.job_id))
+        # Without a retry policy there is no checkpoint credit and no retry
+        # budget: a resubmitted overrunner would overrun again, identically
+        # and forever.  Only retry walltime kills under a policy.
+        self._kill(
+            job, CancelReason.WALLTIME, retry=self.retry_policy is not None
+        )
+        self._cycle()
+
+    def _kill(
+        self, job: Job, reason: CancelReason, retry: bool = True
+    ) -> Optional[Job]:
+        """Cancel a failure/walltime victim, account lost work, resubmit.
+
+        Returns the retry job, or None when retries are disabled/exhausted.
+        Checkpointing (``retry_policy.checkpoint_period``) credits completed
+        work so the retry resumes with the remainder instead of restarting.
+        """
+        policy = self.retry_policy
+        elapsed = credited = 0
+        if job.state is JobState.RUNNING and job.start_time is not None:
+            elapsed = self.now - job.start_time
+            if policy is not None and policy.checkpoint_period:
+                credited = min(
+                    (elapsed // policy.checkpoint_period)
+                    * policy.checkpoint_period,
+                    job.work_required,
+                )
+            job.finished_at = self.now
+        nodes = max(1, self._nodes_of(job))
+        job.ran_seconds += elapsed
+        self._busy_node_seconds += elapsed * nodes
+        self._work_lost += (elapsed - credited) * nodes
+        self.cancel(job, reason=reason)
+        if not retry:
+            return None
+        if policy is not None and not policy.should_retry(job.attempt):
+            return None
+        delay = 0 if policy is None else policy.delay(job.attempt)
+        boost = 0 if policy is None else policy.priority_boost
+        remaining = job.work_required - credited
+        retry_job = self.submit(
+            job.jobspec,
+            at=self.now + delay,
+            name=f"{job.name}-retry",
+            priority=job.priority + boost,
+            actual_duration=(
+                remaining
+                if (job.actual_duration is not None or credited)
+                else None
+            ),
+        )
+        retry_job.attempt = job.attempt + 1
+        retry_job.retry_of = job.retry_of if job.retry_of is not None else job.job_id
+        retry_job.work_credited = job.work_credited + credited
+        self.retries += 1
+        return retry_job
+
+    def _nodes_of(self, job: Job) -> int:
+        """Distinct node vertices the job's allocations touch."""
+        uids = set()
+        for alloc in job.allocations:
+            for sel in alloc.selections:
+                if sel.vertex.type == "node":
+                    uids.add(sel.vertex.uniq_id)
+        return len(uids)
+
+    def _node_weight(self, vertex: ResourceVertex) -> int:
+        """Node pool size at or below ``vertex`` (for downtime accounting)."""
+        weight = vertex.size if vertex.type == "node" else 0
+        for v in self.graph.descendants(vertex):
+            if v.type == "node":
+                weight += v.size
+        return weight
+
     def _cycle(self) -> None:
-        """Run one scheduling cycle and enqueue start/end events."""
+        """Run one scheduling cycle and enqueue start/end/kill events."""
         self.queue_policy.cycle(self._pending_jobs(), self.traverser, self.now)
         for job in self.jobs.values():
             alloc = job.allocation
@@ -241,7 +550,14 @@ class ClusterSimulator:
                 continue
             self._started_allocs.add(alloc.alloc_id)
             if job.state is JobState.RESERVED:
-                self._push(alloc.at, _START, job.job_id)
+                self._push(alloc.at, _START, job.job_id, alloc.alloc_id)
             else:
                 self.event_log.append((self.now, "start", job.job_id))
-            self._push(alloc.end, _END, job.job_id)
+            if job.work_required > alloc.duration:
+                self._push(alloc.end, _WALLTIME, job.job_id, alloc.alloc_id)
+            else:
+                self._push(
+                    self._finish_time(job), _END, job.job_id, alloc.alloc_id
+                )
+        if self.auditor is not None:
+            self.auditor.check(self)

@@ -6,6 +6,7 @@ from repro.grug import tiny_cluster
 from repro.jobspec import nodes_jobspec, simple_node_jobspec
 from repro.match import Allocation
 from repro.sched import (
+    CancelReason,
     ClusterSimulator,
     JobState,
     affected_jobs,
@@ -42,6 +43,34 @@ class TestAffectedJobs:
         g, sim, jobs = running_sim()
         idle = g.find(type="gpu")[0]
         assert affected_jobs(sim, idle) == []
+
+    def test_root_failure_affects_every_running_job(self):
+        # Regression: the old path-prefix test missed the containment root.
+        g, sim, jobs = running_sim()
+        assert sorted(j.job_id for j in affected_jobs(sim, g.root)) == [
+            j.job_id for j in jobs
+        ]
+
+    def test_vertex_without_containment_path_affects_nothing(self):
+        # Regression: a path-less vertex used to prefix-match *every* job
+        # ("" + "/" is a prefix of all containment paths).
+        g, sim, jobs = running_sim()
+        orphan = g.add_vertex("node", basename="spare")
+        assert orphan.path("containment") == ""
+        assert affected_jobs(sim, orphan) == []
+
+    def test_sibling_name_prefixes_do_not_collide(self):
+        # node1 must not sweep up jobs on node10.
+        g = tiny_cluster(racks=1, nodes_per_rack=11, cores=2, gpus=0,
+                         memory_pools=0)
+        sim = ClusterSimulator(g, match_policy="low", queue="conservative")
+        jobs = [sim.submit(nodes_jobspec(1, duration=100), at=0)
+                for _ in range(11)]
+        sim.run(until=0)
+        by_node = {j.allocation.nodes()[0].name: j for j in jobs}
+        assert {"node1", "node10"} <= set(by_node)
+        hit = affected_jobs(sim, by_node["node1"].allocation.nodes()[0])
+        assert hit == [by_node["node1"]]
 
 
 class TestFailVertex:
@@ -93,6 +122,55 @@ class TestFailVertex:
         g, sim, jobs = running_sim()
         fail_vertex(sim, g.find(type="rack")[0])
         sim.run()
+        for v in g.vertices():
+            assert v.plans.span_count == 0
+            assert v.xplans.span_count == 0
+
+    def test_victims_carry_failure_cancel_reason(self):
+        g, sim, jobs = running_sim()
+        node = jobs[0].allocation.nodes()[0]
+        canceled, _ = fail_vertex(sim, node)
+        assert canceled[0].cancel_reason is CancelReason.NODE_FAILURE
+        report = sim.run()
+        assert report.failure_killed == canceled
+        assert report.unsatisfiable == []  # failure victims are not unsat
+
+    def test_resubmission_schedules_without_waiting_for_next_event(self):
+        # Regression: fail_vertex now runs a cycle, so the retry is placed
+        # immediately instead of riding the next natural submit/end event.
+        g, sim, jobs = running_sim()
+        node = jobs[0].allocation.nodes()[0]
+        _, resubmitted = fail_vertex(sim, node)
+        retry = resubmitted[0]
+        assert retry.state in (JobState.RUNNING, JobState.RESERVED)
+        assert retry.allocation is not None
+
+    def test_failing_node_with_reserved_job_rebuilds_reservation(self):
+        # EASY backfill: the queue head holds a *reservation* on a node that
+        # then dies.  The reservation must be torn down (no leak through
+        # _started_allocs) and rebuilt on healthy hardware.
+        g = tiny_cluster(racks=1, nodes_per_rack=2, cores=4)
+        sim = ClusterSimulator(g, match_policy="low", queue="easy")
+        a = sim.submit(nodes_jobspec(1, duration=1000), at=0)
+        b = sim.submit(nodes_jobspec(1, duration=1000), at=0)
+        head = sim.submit(nodes_jobspec(2, duration=100), at=0)
+        sim.run(until=0)
+        assert head.state is JobState.RESERVED
+        stale_id = head.allocation.alloc_id
+        reserved_node = head.allocation.nodes()[0]
+        canceled, resubmitted = fail_vertex(sim, reserved_node)
+        assert head in canceled
+        assert head.cancel_reason is CancelReason.NODE_FAILURE
+        assert stale_id not in sim._started_allocs
+        assert stale_id not in sim.traverser.allocations
+        retry = resubmitted[canceled.index(head)]
+        # 2 nodes requested, only 1 up: transiently unsatisfiable, the retry
+        # waits instead of being insta-canceled like an original submission.
+        assert retry.state is JobState.PENDING
+        repair_vertex(sim, reserved_node)
+        assert retry.state is not JobState.PENDING  # repair re-ran the cycle
+        report = sim.run()
+        assert retry.state is JobState.COMPLETED
         for v in g.vertices():
             assert v.plans.span_count == 0
             assert v.xplans.span_count == 0

@@ -1,0 +1,391 @@
+"""Resilience subsystem tests: fault injection, retries, walltime, auditing.
+
+The acceptance bar lives in TestChaos: a seeded fault storm over a 200-job
+trace, with the invariant auditor running after every scheduling cycle, must
+be deterministic (identical event logs across two fresh runs), raise zero
+violations, and leave every non-unsatisfiable job either completed or with
+its retry budget exhausted.
+"""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.grug import tiny_cluster
+from repro.jobspec import nodes_jobspec
+from repro.resilience import (
+    FaultEvent,
+    FaultInjector,
+    FaultModel,
+    InvariantAuditor,
+    InvariantViolation,
+    RetryPolicy,
+    install_trace,
+)
+from repro.sched import CancelReason, ClusterSimulator, JobState
+from repro.workloads import synthetic_trace
+
+
+def small_sim(**kwargs):
+    g = tiny_cluster(racks=2, nodes_per_rack=2, cores=4)
+    return g, ClusterSimulator(g, match_policy="low", **kwargs)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(SchedulerError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(SchedulerError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(SchedulerError):
+            RetryPolicy(checkpoint_period=0)
+
+    def test_exponential_growth_and_cap(self):
+        p = RetryPolicy(backoff_base=10, backoff_factor=2.0,
+                        backoff_cap=50, jitter=0.0)
+        assert [p.delay(a) for a in range(5)] == [10, 20, 40, 50, 50]
+
+    def test_jitter_is_seeded_and_bounded(self):
+        a = RetryPolicy(backoff_base=1000, jitter=0.2, seed=3)
+        b = RetryPolicy(backoff_base=1000, jitter=0.2, seed=3)
+        seq_a = [a.delay(0) for _ in range(20)]
+        seq_b = [b.delay(0) for _ in range(20)]
+        assert seq_a == seq_b  # same seed, same stream
+        assert all(800 <= d <= 1200 for d in seq_a)
+        assert len(set(seq_a)) > 1  # jitter actually spreads
+        c = RetryPolicy(backoff_base=1000, jitter=0.2, seed=4)
+        assert [c.delay(0) for _ in range(20)] != seq_a
+
+    def test_retry_budget(self):
+        p = RetryPolicy(max_retries=2)
+        assert p.should_retry(0) and p.should_retry(1)
+        assert not p.should_retry(2)
+        assert not RetryPolicy(max_retries=0).should_retry(0)
+
+    def test_budget_enforced_by_simulator(self):
+        # One node, a fault trace that kills the job on every attempt.
+        g = tiny_cluster(racks=1, nodes_per_rack=1, cores=4)
+        sim = ClusterSimulator(
+            g,
+            match_policy="low",
+            retry_policy=RetryPolicy(max_retries=2, backoff_base=0,
+                                     jitter=0.0),
+            audit=True,
+        )
+        node = g.find(type="node")[0]
+        path = node.path("containment")
+        job = sim.submit(nodes_jobspec(1, duration=1000), at=0)
+        trace = [(100 + 300 * i, path, "fail") for i in range(4)]
+        trace += [(150 + 300 * i, path, "repair") for i in range(4)]
+        install_trace(sim, trace)
+        report = sim.run()
+        chain = [j for j in report.jobs if j.retry_of == job.job_id]
+        assert job.cancel_reason is CancelReason.NODE_FAILURE
+        assert len(chain) == 2  # budget: original + 2 retries, no more
+        assert report.retries == 2
+        assert chain[-1].attempt == 2
+        assert chain[-1].state is JobState.CANCELED
+
+    def test_priority_boost_applied(self):
+        g, sim = small_sim(
+            retry_policy=RetryPolicy(priority_boost=5, backoff_base=0,
+                                     jitter=0.0)
+        )
+        job = sim.submit(nodes_jobspec(1, duration=500), at=0)
+        sim.run(until=0)
+        _, retries = sim.fail(job.allocation.nodes()[0])
+        assert retries[0].priority == job.priority + 5
+
+
+class TestFaultModel:
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            FaultModel(mtbf=0, mttr=10)
+        with pytest.raises(SchedulerError):
+            FaultModel(mtbf=10, mttr=10, mtbf_shape=-1)
+        with pytest.raises(SchedulerError):
+            FaultEvent(10, "/c/n", "explode")
+        with pytest.raises(SchedulerError):
+            FaultEvent(-1, "/c/n", "fail")
+
+    def test_weibull_shape_preserves_mean(self):
+        import numpy as np
+
+        model = FaultModel(mtbf=1000, mttr=100, mtbf_shape=2.0)
+        rng = np.random.default_rng(0)
+        draws = [model.draw_uptime(rng) for _ in range(4000)]
+        assert abs(sum(draws) / len(draws) - 1000) < 50
+
+
+class TestFaultInjector:
+    def test_trace_is_deterministic(self):
+        g = tiny_cluster(racks=2, nodes_per_rack=4, cores=4)
+        make = lambda: FaultInjector(
+            {"node": FaultModel(mtbf=5000, mttr=200)}, horizon=50_000, seed=9
+        )
+        assert make().generate(g) == make().generate(g)
+        other = FaultInjector(
+            {"node": FaultModel(mtbf=5000, mttr=200)}, horizon=50_000, seed=10
+        ).generate(g)
+        assert other != make().generate(g)
+
+    def test_events_alternate_per_vertex(self):
+        g = tiny_cluster(racks=2, nodes_per_rack=4, cores=4)
+        events = FaultInjector(
+            {"node": FaultModel(mtbf=2000, mttr=150)}, horizon=30_000, seed=1
+        ).generate(g)
+        assert events  # this seed produces failures
+        by_path = {}
+        for e in events:
+            by_path.setdefault(e.path, []).append(e)
+        for path, seq in by_path.items():
+            seq.sort(key=lambda e: e.time)
+            kinds = [e.kind for e in seq]
+            assert kinds == ["fail", "repair"] * (len(seq) // 2)
+            times = [e.time for e in seq]
+            assert times == sorted(times)
+        # failures stay inside the horizon; repairs may land past it
+        assert all(e.time < 30_000 for e in events if e.kind == "fail")
+
+    def test_install_enqueues_heap_events(self):
+        g, sim = small_sim(audit=True)
+        job = sim.submit(nodes_jobspec(4, duration=10_000), at=0)
+        events = FaultInjector(
+            {"node": FaultModel(mtbf=3000, mttr=100)}, horizon=9000, seed=2
+        ).install(sim)
+        report = sim.run()
+        fails = [e for e in sim.event_log if e[1] == "fail"]
+        assert report.failures == len(fails) > 0
+        assert report.node_seconds_lost > 0
+        assert report.mttr_observed > 0
+
+    def test_install_trace_accepts_tuples(self):
+        g, sim = small_sim()
+        node = g.find(type="node")[0]
+        path = node.path("containment")
+        assert install_trace(sim, [(50, path, "fail"), (80, path, "repair")]) == 2
+        sim.run()
+        assert (50, "fail", node.name) in sim.event_log
+        assert (80, "repair", node.name) in sim.event_log
+
+
+class TestWalltime:
+    def test_overrun_killed_at_limit(self):
+        g, sim = small_sim(audit=True)
+        job = sim.submit(nodes_jobspec(1, duration=500), at=0,
+                         actual_duration=800)
+        report = sim.run()
+        assert job.state is JobState.CANCELED
+        assert job.cancel_reason is CancelReason.WALLTIME
+        assert job.finished_at == 500  # killed exactly at the limit
+        assert report.walltime_exceeded == [job]
+        # no retry policy: the overrunner is not blindly resubmitted
+        assert report.retries == 0
+        assert report.work_lost == 500
+
+    def test_early_completion_frees_machine(self):
+        # EASY re-plans its head reservation, so the early finish pulls the
+        # next job forward to t=300 instead of the booked t=1000.
+        g, sim = small_sim(queue="easy", audit=True)
+        early = sim.submit(nodes_jobspec(4, duration=1000), at=0,
+                           actual_duration=300)
+        follow = sim.submit(nodes_jobspec(4, duration=100), at=0)
+        report = sim.run()
+        assert early.state is JobState.COMPLETED
+        assert early.finished_at == 300
+        # the booked-but-unused walltime tail is released for the next job
+        assert follow.state is JobState.COMPLETED
+        assert follow.start_time == 300
+
+    def test_checkpointed_retry_resumes_remaining_work(self):
+        g, sim = small_sim(
+            retry_policy=RetryPolicy(
+                max_retries=5, backoff_base=0, jitter=0.0,
+                checkpoint_period=100,
+            ),
+            audit=True,
+        )
+        job = sim.submit(nodes_jobspec(1, duration=500), at=0,
+                         actual_duration=760)
+        report = sim.run()
+        assert job.cancel_reason is CancelReason.WALLTIME
+        retry = next(j for j in report.jobs if j.retry_of == job.job_id)
+        assert retry.work_credited == 500  # all 5 checkpoints landed
+        assert retry.actual_duration == 260  # remainder, now under walltime
+        assert retry.state is JobState.COMPLETED
+        assert retry.ran_seconds == 260
+        assert report.work_lost == 0  # kill happened on a checkpoint boundary
+
+    def test_checkpoint_credit_rounds_down(self):
+        g, sim = small_sim(
+            retry_policy=RetryPolicy(
+                max_retries=5, backoff_base=0, jitter=0.0,
+                checkpoint_period=150,
+            ),
+        )
+        job = sim.submit(nodes_jobspec(1, duration=500), at=0,
+                         actual_duration=700)
+        report = sim.run()
+        retry = next(j for j in report.jobs if j.retry_of == job.job_id)
+        assert retry.work_credited == 450  # 3 checkpoints of 150
+        assert retry.actual_duration == 250
+        assert report.work_lost == 50  # the 450..500 tail past the checkpoint
+
+    def test_submit_rejects_bad_actual_duration(self):
+        g, sim = small_sim()
+        with pytest.raises(SchedulerError):
+            sim.submit(nodes_jobspec(1, duration=500), at=0, actual_duration=0)
+
+
+class TestAuditor:
+    def test_clean_run_audits_every_cycle(self):
+        g, sim = small_sim(audit=True)
+        for _ in range(3):
+            sim.submit(nodes_jobspec(2, duration=300), at=0)
+        sim.run()
+        assert sim.auditor.checks_run >= 3
+        assert sim.auditor.collect(sim) == []
+
+    def test_detects_alloc_removed_behind_the_scheduler(self):
+        g, sim = small_sim(audit=True)
+        job = sim.submit(nodes_jobspec(1, duration=500), at=0)
+        sim.run(until=0)
+        sim.traverser.remove(job.allocation.alloc_id)  # sabotage
+        violations = sim.auditor.collect(sim)
+        assert violations
+        assert {v.invariant for v in violations} >= {"alloc-ownership"}
+        with pytest.raises(InvariantViolation) as err:
+            sim.auditor.check(sim)
+        assert err.value.violations == violations
+        assert "alloc-ownership" in str(err.value)
+
+    def test_detects_rogue_span(self):
+        g, sim = small_sim(audit=True)
+        sim.submit(nodes_jobspec(1, duration=500), at=0)
+        sim.run(until=0)
+        node = g.find(type="node")[-1]
+        node.plans.add_span(0, 100, 1)  # booked outside any allocation
+        violations = sim.auditor.collect(sim)
+        assert any(
+            v.invariant == "span-accounting" and node.name in v.subject
+            for v in violations
+        )
+
+    def test_detects_hold_on_down_vertex(self):
+        g, sim = small_sim(audit=True)
+        job = sim.submit(nodes_jobspec(1, duration=500), at=0)
+        sim.run(until=0)
+        g.mark_down(job.allocation.nodes()[0])  # drained behind sim's back
+        violations = sim.auditor.collect(sim)
+        assert any(v.invariant == "down-vertex" for v in violations)
+
+    def test_detects_missing_cancel_reason(self):
+        g, sim = small_sim(audit=True)
+        job = sim.submit(nodes_jobspec(1, duration=500), at=0)
+        sim.run(until=0)
+        sim.cancel(job)
+        job.cancel_reason = None  # sabotage
+        violations = sim.auditor.collect(sim)
+        assert any(v.invariant == "job-state" for v in violations)
+
+    def test_violation_diff_formatting(self):
+        from repro.resilience import Violation
+
+        v = Violation("span-accounting", "node3.core", "2 spans", "3 spans")
+        text = str(InvariantViolation([v], now=7))
+        assert "t=7" in text
+        assert "[span-accounting] node3.core" in text
+        assert "expected 2 spans, actual 3 spans" in text
+
+
+class TestCancelReasons:
+    def test_report_separates_reasons(self):
+        g, sim = small_sim(audit=True)
+        ok = sim.submit(nodes_jobspec(1, duration=100), at=0)
+        impossible = sim.submit(nodes_jobspec(99, duration=100), at=0)
+        killed = sim.submit(nodes_jobspec(1, duration=1000), at=0)
+        sim.run(until=0)
+        sim.fail(killed.allocation.nodes()[0], resubmit=False)
+        byuser = sim.submit(nodes_jobspec(1, duration=100), at=sim.now)
+        sim.run(until=sim.now)
+        sim.cancel(byuser)
+        report = sim.run()
+        assert report.unsatisfiable == [impossible]
+        assert report.failure_killed == [killed]
+        assert report.user_canceled == [byuser]
+        assert report.walltime_exceeded == []
+        assert ok in report.completed
+        assert sorted(report.canceled, key=lambda j: j.job_id) == [
+            impossible, killed, byuser,
+        ]
+
+
+def chaos_run():
+    """One fresh chaos simulation; returns (sim, report)."""
+    g = tiny_cluster(racks=2, nodes_per_rack=8, cores=4, gpus=0,
+                     memory_pools=0)
+    sim = ClusterSimulator(
+        g,
+        match_policy="low",
+        queue="easy",
+        retry_policy=RetryPolicy(
+            max_retries=3, backoff_base=60, backoff_factor=2.0,
+            jitter=0.25, priority_boost=1, checkpoint_period=300, seed=5,
+        ),
+        audit=True,
+    )
+    for t in synthetic_trace(n_jobs=200, seed=13, max_nodes=16,
+                             min_duration=200, max_duration=4000,
+                             arrival_spread=20_000):
+        # every 5th job underestimates its walltime by 30%
+        actual = int(t.duration * 1.3) if t.job_index % 5 == 0 else None
+        sim.submit(t.to_jobspec(), at=t.submit_time,
+                   actual_duration=actual)
+    FaultInjector(
+        {"node": FaultModel(mtbf=60_000, mttr=900, mtbf_shape=1.5)},
+        horizon=40_000,
+        seed=21,
+    ).install(sim)
+    return sim, sim.run()
+
+
+class TestChaos:
+    """Acceptance: seeded failure storm, auditor always on, 200-job trace."""
+
+    def test_storm_is_deterministic_and_audits_clean(self):
+        sim1, report1 = chaos_run()
+        sim2, report2 = chaos_run()
+        # identical event logs across two fresh runs: placement, failures,
+        # retries and jitter are all pure functions of the seeds
+        assert sim1.event_log == sim2.event_log
+        assert report1.failures == report2.failures > 0
+        assert report1.retries == report2.retries > 0
+        # every cycle was audited, none raised
+        assert sim1.auditor.checks_run > 200
+
+        # every job chain is accounted for: completed, structurally
+        # unsatisfiable, or killed with its retry budget spent
+        chains = {}
+        for job in report1.jobs:
+            root = job.retry_of if job.retry_of is not None else job.job_id
+            chains.setdefault(root, []).append(job)
+        max_retries = sim1.retry_policy.max_retries
+        for root, chain in chains.items():
+            chain.sort(key=lambda j: j.attempt)
+            last = chain[-1]
+            if any(j.state is JobState.COMPLETED for j in chain):
+                continue
+            assert last.state is JobState.CANCELED
+            if last.cancel_reason is CancelReason.UNSATISFIABLE:
+                assert last.attempt == 0  # structural, never ran
+            else:
+                assert last.attempt == max_retries  # budget exhausted
+
+        # graph is clean after the storm: nothing leaked
+        for v in sim1.graph.vertices():
+            assert v.plans.span_count == 0
+            assert v.xplans.span_count == 0
+        assert sim1.traverser.allocations == {}
+        assert report1.goodput() <= report1.utilization()
+        assert report1.node_seconds_lost > 0
