@@ -1,0 +1,131 @@
+"""Crash-recovery overhead: snapshot cost and journal replay throughput.
+
+Measures the three costs a crash-consistent scheduler pays: writing a full
+state snapshot (time and on-disk size), journaling every command during a
+run (relative to an unjournaled control), and replaying a journal suffix on
+recovery (records/second).  All runs use the backfilled chaos workload so
+snapshots carry a realistic mix of active allocations, reservations, retry
+state and pending events.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import ClusterSimulator, RetryPolicy, tiny_cluster
+from repro.recovery import (
+    RecoveryManager,
+    recover,
+    snapshot_state,
+    state_diff,
+    write_snapshot,
+)
+from repro.workloads import synthetic_trace
+
+
+def build_sim(recovery_dir=None, n_jobs=100, **manager_kwargs):
+    g = tiny_cluster(racks=2, nodes_per_rack=8, cores=4, gpus=0,
+                     memory_pools=0)
+    sim = ClusterSimulator(
+        g,
+        match_policy="low",
+        queue="easy",
+        retry_policy=RetryPolicy(max_retries=3, backoff_base=60,
+                                 jitter=0.25, checkpoint_period=300, seed=5),
+    )
+    if recovery_dir is not None:
+        RecoveryManager(str(recovery_dir), **manager_kwargs).attach(sim)
+    for t in synthetic_trace(n_jobs=n_jobs, seed=13, max_nodes=16,
+                             min_duration=200, max_duration=4000,
+                             arrival_spread=10_000):
+        actual = int(t.duration * 1.3) if t.job_index % 5 == 0 else None
+        sim.submit(t.to_jobspec(), at=t.submit_time, actual_duration=actual)
+    return sim
+
+
+def test_snapshot_write(benchmark, tmp_path):
+    """Time to serialise + checksum + fsync one mid-run snapshot."""
+    sim = build_sim()
+    for _ in range(150):  # mid-run: live allocations and pending events
+        sim.step()
+    path = str(tmp_path / "snap.json")
+
+    def write():
+        write_snapshot(snapshot_state(sim, seq=0), path)
+
+    benchmark.pedantic(write, rounds=5, iterations=1)
+    doc = snapshot_state(sim, seq=0)
+    benchmark.extra_info.update(
+        snapshot_bytes=os.path.getsize(path),
+        doc_bytes=len(json.dumps(doc, separators=(",", ":"))),
+        allocations=len(doc["allocations"]),
+        jobs=len(doc["jobs"]),
+        pending_events=len(doc["events"]),
+    )
+
+
+def test_journaling_overhead(benchmark, tmp_path):
+    """Full run with journal + periodic snapshots vs the same run bare."""
+    control = build_sim()
+    control.run()
+
+    def journaled_run(directory):
+        sim = build_sim(recovery_dir=directory, snapshot_every=500)
+        sim.run()
+        return sim
+
+    run_dir = [0]
+
+    def one_round():
+        run_dir[0] += 1
+        return journaled_run(tmp_path / f"r{run_dir[0]}")
+
+    sim = benchmark.pedantic(one_round, rounds=3, iterations=1)
+    assert sim.event_log == control.event_log  # journaling is observation-only
+    report = sim.report()
+    benchmark.extra_info.update(
+        journal_records=report.journal_records,
+        snapshots=report.snapshots_taken,
+        journal_bytes=os.path.getsize(
+            tmp_path / f"r{run_dir[0]}" / "journal.wal"
+        ),
+    )
+
+
+def test_replay_throughput(benchmark, tmp_path):
+    """Records/second re-executed when recovering from the initial snapshot."""
+    sim = build_sim(recovery_dir=tmp_path)  # one snapshot at seq 0
+    for _ in range(400):
+        if not sim._events:
+            break
+        sim.step()
+    replayed = sim.recovery_stats["journal_records"]
+    # recover() snapshots afterwards; keep only the seq-0 snapshot so every
+    # benchmark round replays the full journal.
+    initial = sorted(p for p in os.listdir(tmp_path) if p.startswith("snapshot"))[0]
+    keep = (tmp_path / initial).read_bytes()
+
+    def replay():
+        for name in os.listdir(tmp_path):
+            if name.startswith("snapshot"):
+                os.unlink(tmp_path / name)
+        (tmp_path / initial).write_bytes(keep)
+        return recover(str(tmp_path))
+
+    recovered = benchmark.pedantic(replay, rounds=3, iterations=1)
+    assert recovered.recovery_stats["journal_replayed"] == replayed
+    assert state_diff(sim, recovered) == []
+    benchmark.extra_info.update(
+        records=replayed,
+        records_per_s=round(replayed / benchmark.stats.stats.mean),
+    )
+
+
+def test_recovery_is_observation_only(tmp_path):
+    control = build_sim()
+    control.run()
+    sim = build_sim(recovery_dir=tmp_path, snapshot_every=200)
+    sim.run()
+    assert sim.event_log == control.event_log
+    assert state_diff(control, sim) == []

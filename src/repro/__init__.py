@@ -26,6 +26,9 @@ Subpackages
     Queueing/backfilling, an event simulator, elasticity, hierarchy (§5.5-§5.6).
 ``repro.resilience``
     Stochastic fault injection, retry policies, state invariant auditing.
+``repro.recovery``
+    Crash-consistent scheduler state: snapshots, write-ahead journal,
+    recovery replay and crash injection.
 ``repro.baselines``
     Node-centric scheduler and naive list planner for comparison (§2).
 ``repro.usecases``
@@ -43,11 +46,15 @@ from .errors import (
     FluxionError,
     JobError,
     JobspecError,
+    JournalCorruptError,
+    JournalError,
     MatchError,
     PlannerError,
     RecipeError,
+    RecoveryError,
     ResourceGraphError,
     SchedulerError,
+    SnapshotError,
     SpanNotFoundError,
     SubsystemError,
 )
@@ -71,6 +78,14 @@ from .jobspec import (
 from .match import Allocation, MatchPolicy, Traverser, make_policy
 from .planner import Planner, PlannerMulti, Span
 from .resource import ResourceGraph, ResourceVertex
+from .recovery import (
+    CRASH_POINTS,
+    CrashInjector,
+    RecoveryManager,
+    SimulatedCrash,
+    recover,
+    state_diff,
+)
 from .resilience import (
     FaultInjector,
     FaultModel,
@@ -93,9 +108,11 @@ __version__ = "1.0.0"
 __all__ = [
     "Allocation",
     "AllocationNotFoundError",
+    "CRASH_POINTS",
     "CancelReason",
     "CapacitySchedule",
     "ClusterSimulator",
+    "CrashInjector",
     "FaultInjector",
     "FaultModel",
     "FluxionError",
@@ -107,18 +124,24 @@ __all__ = [
     "JobState",
     "Jobspec",
     "JobspecError",
+    "JournalCorruptError",
+    "JournalError",
     "MatchError",
     "MatchPolicy",
     "Planner",
     "PlannerError",
     "PlannerMulti",
     "RecipeError",
+    "RecoveryError",
+    "RecoveryManager",
     "ResourceGraph",
     "RetryPolicy",
     "ResourceGraphError",
     "ResourceRequest",
     "ResourceVertex",
     "SchedulerError",
+    "SimulatedCrash",
+    "SnapshotError",
     "Span",
     "SpanNotFoundError",
     "SubsystemError",
@@ -134,6 +157,8 @@ __all__ = [
     "quartz",
     "rabbit_system",
     "rack_spread_jobspec",
+    "recover",
     "simple_node_jobspec",
+    "state_diff",
     "tiny_cluster",
 ]

@@ -54,3 +54,24 @@ class SchedulerError(FluxionError):
 
 class JobError(SchedulerError):
     """Raised on invalid job state transitions."""
+
+
+class RecoveryError(FluxionError):
+    """Raised when crash-consistent state cannot be saved or restored."""
+
+
+class SnapshotError(RecoveryError):
+    """Raised when a snapshot document is missing, corrupt or inconsistent."""
+
+
+class JournalError(RecoveryError):
+    """Raised on invalid write-ahead-journal operations."""
+
+
+class JournalCorruptError(JournalError):
+    """Raised when the journal is corrupt beyond its torn tail.
+
+    A truncated or CRC-failing *trailing* record is a torn write and is
+    silently dropped during recovery; corruption *followed by further valid
+    records* means the journal body itself is damaged and recovery must not
+    guess."""

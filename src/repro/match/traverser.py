@@ -138,6 +138,11 @@ class Traverser:
         self._next_alloc_id = 1
         #: performance counters: vertices visited, matches, failed matches
         self.stats = {"visits": 0, "matched": 0, "failed": 0, "reserve_iters": 0}
+        #: observer hooks: called with the Allocation after a booking is
+        #: registered / after a removal completes (used by the recovery
+        #: journal; None disables).
+        self.on_book = None
+        self.on_remove = None
 
     # ------------------------------------------------------------------
     # public operations
@@ -250,7 +255,24 @@ class Traverser:
         for planner, span_id in alloc._span_records:
             planner.rem_span(span_id)
         alloc._span_records.clear()
+        if self.on_remove is not None:
+            self.on_remove(alloc)
         return alloc
+
+    def install_allocation(self, alloc: Allocation) -> None:
+        """Register an externally rebuilt allocation (crash recovery).
+
+        The allocation's planner spans must already be booked; this only
+        re-registers the record and keeps future alloc ids disjoint.  The
+        ``on_book`` hook is *not* fired — installation restores state, it
+        does not create it.
+        """
+        if alloc.alloc_id in self.allocations:
+            raise MatchError(
+                f"allocation id {alloc.alloc_id} already registered"
+            )
+        self.allocations[alloc.alloc_id] = alloc
+        self._next_alloc_id = max(self._next_alloc_id, alloc.alloc_id + 1)
 
     def remove_all(self) -> None:
         """Release every allocation made through this traverser."""
@@ -641,6 +663,8 @@ class Traverser:
         )
         self._next_alloc_id += 1
         self.allocations[alloc.alloc_id] = alloc
+        if self.on_book is not None:
+            self.on_book(alloc)
         return alloc
 
     def _sdfu(

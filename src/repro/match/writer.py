@@ -9,11 +9,28 @@ underlying resource manager uses to contain, bind and execute the job.  The
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from ..errors import RecoveryError
 from ..resource import ResourceVertex
 
-__all__ = ["Selection", "Allocation"]
+__all__ = ["Selection", "Allocation", "planner_owner_index"]
+
+
+def planner_owner_index(graph) -> Dict[int, Tuple[str, str]]:
+    """Map ``id(planner object)`` -> ``(vertex name, kind)`` for every
+    planner a graph owns (``plans``, ``xplans`` and pruning ``filter``).
+
+    Allocation span records hold bare planner references; this index lets
+    :meth:`Allocation.to_record` name them durably.
+    """
+    index: Dict[int, Tuple[str, str]] = {}
+    for vertex in graph.vertices():
+        index[id(vertex.plans)] = (vertex.name, "plans")
+        index[id(vertex.xplans)] = (vertex.name, "xplans")
+        if vertex.prune_filters is not None:
+            index[id(vertex.prune_filters)] = (vertex.name, "filter")
+    return index
 
 
 @dataclass(frozen=True)
@@ -131,6 +148,106 @@ class Allocation:
             },
             "resources": rlite["resources"],
         }
+
+    # ------------------------------------------------------------------
+    # snapshot records (crash recovery)
+    # ------------------------------------------------------------------
+    def to_record(self, planner_owner: Mapping[int, Tuple[str, str]]) -> dict:
+        """Serialise this allocation for a scheduler snapshot.
+
+        Unlike :meth:`to_rlite`, the record keeps everything needed to
+        *re-install* the allocation exactly: pass-through selections and the
+        ``(vertex, planner kind, span id)`` triples behind ``_span_records``.
+        ``planner_owner`` maps ``id(planner_obj)`` to ``(vertex name, kind)``
+        — build it with :func:`planner_owner_index`.
+        """
+        spans = []
+        for planner, span_id in self._span_records:
+            try:
+                name, kind = planner_owner[id(planner)]
+            except KeyError:
+                raise RecoveryError(
+                    f"allocation {self.alloc_id} books a planner not owned "
+                    "by any graph vertex"
+                ) from None
+            spans.append({"vertex": name, "kind": kind, "span_id": span_id})
+        return {
+            "alloc_id": self.alloc_id,
+            "at": self.at,
+            "duration": self.duration,
+            "reserved": self.reserved,
+            "selections": [
+                {
+                    "vertex": s.vertex.name,
+                    "amount": s.amount,
+                    "exclusive": s.exclusive,
+                    "passthrough": s.passthrough,
+                }
+                for s in self.selections
+            ],
+            "spans": spans,
+        }
+
+    @classmethod
+    def from_record(
+        cls,
+        record: Mapping[str, Any],
+        by_name: Mapping[str, ResourceVertex],
+    ) -> "Allocation":
+        """Rebuild an allocation from :meth:`to_record` output.
+
+        ``by_name`` maps vertex names to the (already restored) graph's
+        vertices; the referenced planner spans must already exist — the
+        recovery layer imports planner state before rewiring allocations.
+        """
+
+        def vertex_of(name: str) -> ResourceVertex:
+            try:
+                return by_name[name]
+            except KeyError:
+                raise RecoveryError(
+                    f"allocation record references unknown vertex {name!r}"
+                ) from None
+
+        selections = [
+            Selection(
+                vertex=vertex_of(s["vertex"]),
+                amount=int(s["amount"]),
+                exclusive=bool(s["exclusive"]),
+                passthrough=bool(s["passthrough"]),
+            )
+            for s in record["selections"]
+        ]
+        span_records: List[Tuple[object, int]] = []
+        for entry in record["spans"]:
+            vertex = vertex_of(entry["vertex"])
+            kind = entry["kind"]
+            span_id = int(entry["span_id"])
+            if kind == "plans":
+                planner: object = vertex.plans
+                present = vertex.plans.has_span(span_id)
+            elif kind == "xplans":
+                planner = vertex.xplans
+                present = vertex.xplans.has_span(span_id)
+            elif kind == "filter":
+                planner = vertex.prune_filters
+                present = planner is not None and planner.has_span(span_id)
+            else:
+                raise RecoveryError(f"unknown planner kind {kind!r}")
+            if not present:
+                raise RecoveryError(
+                    f"allocation record references missing {kind} span "
+                    f"{span_id} on vertex {vertex.name!r}"
+                )
+            span_records.append((planner, span_id))
+        return cls(
+            alloc_id=int(record["alloc_id"]),
+            at=int(record["at"]),
+            duration=int(record["duration"]),
+            reserved=bool(record["reserved"]),
+            selections=selections,
+            _span_records=span_records,
+        )
 
     def to_pretty(self) -> str:
         """Render the selected resource set as an indented tree (Fluxion's

@@ -162,13 +162,26 @@ class PlannerMulti:
     # ------------------------------------------------------------------
     # span mutation
     # ------------------------------------------------------------------
-    def add_span(self, start: int, duration: int, counts: Mapping[str, int]) -> int:
+    def add_span(
+        self,
+        start: int,
+        duration: int,
+        counts: Mapping[str, int],
+        span_id: Optional[int] = None,
+    ) -> int:
         """Book ``counts`` over ``[start, start + duration)`` across the bundle.
 
         All-or-nothing: if any type cannot be booked, previously booked types
         are rolled back and :class:`PlannerError` propagates.  Types absent
-        from the bundle are ignored; zero counts are skipped.
+        from the bundle are ignored; zero counts are skipped.  ``span_id``
+        re-inserts the bundle span under an explicit id (crash recovery);
+        it must be positive and unused.
         """
+        if span_id is not None:
+            if span_id < 1:
+                raise PlannerError(f"span id must be >= 1, got {span_id}")
+            if span_id in self._spans:
+                raise PlannerError(f"bundle span id {span_id} already in use")
         booked: Dict[str, int] = {}
         try:
             for rtype, count in counts.items():
@@ -180,8 +193,11 @@ class PlannerMulti:
             for rtype, sid in booked.items():
                 self._planners[rtype].rem_span(sid)
             raise
-        span_id = self._next_span_id
-        self._next_span_id += 1
+        if span_id is None:
+            span_id = self._next_span_id
+            self._next_span_id += 1
+        else:
+            self._next_span_id = max(self._next_span_id, span_id + 1)
         self._spans[span_id] = booked
         return span_id
 
@@ -216,6 +232,54 @@ class PlannerMulti:
         """Drop all bundle spans."""
         for span_id in list(self._spans):
             self.rem_span(span_id)
+
+    # ------------------------------------------------------------------
+    # state export / import (crash recovery)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Serialise the bundle: per-type planner states plus the bundle
+        span-id mapping, so :meth:`import_state` restores both the bookings
+        and the exact ids future ``add_span`` calls will hand out."""
+        return {
+            "plan_start": self.plan_start,
+            "plan_end": self.plan_end,
+            "next_span_id": self._next_span_id,
+            "planners": {
+                rtype: planner.export_state()
+                for rtype, planner in self._planners.items()
+            },
+            "spans": {
+                str(sid): dict(booked) for sid, booked in self._spans.items()
+            },
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Rebuild from :meth:`export_state` output.
+
+        The bundle must be empty and track the same types with the same
+        totals (the recovery layer re-installs pruning filters from the
+        graph document before importing their bookings).
+        """
+        if self._spans:
+            raise PlannerError(
+                f"cannot import into a bundle holding {len(self._spans)} spans"
+            )
+        exported = state.get("planners") or {}
+        if set(exported) != set(self._planners):
+            raise PlannerError(
+                f"bundle type mismatch: exported {sorted(exported)}, "
+                f"importing into {sorted(self._planners)}"
+            )
+        for rtype, planner_state in exported.items():
+            self._planners[rtype].import_state(planner_state)
+        self._spans = {
+            int(sid): {str(t): int(per) for t, per in booked.items()}
+            for sid, booked in (state.get("spans") or {}).items()
+        }
+        self._next_span_id = max(
+            int(state.get("next_span_id", self._next_span_id)),
+            self._next_span_id,
+        )
 
     @property
     def span_count(self) -> int:

@@ -234,6 +234,7 @@ class Planner:
         duration: int,
         request: int,
         metadata: Optional[dict] = None,
+        span_id: Optional[int] = None,
     ) -> int:
         """Book ``request`` units over ``[start, start + duration)``.
 
@@ -241,6 +242,12 @@ class Planner:
         falls outside the horizon, the request exceeds the pool, or the
         request is not available throughout the window (the Planner never
         lets a pool go negative).
+
+        ``span_id`` re-inserts a span under an explicit id (crash recovery
+        restores planners span-for-span, and external bookkeeping — e.g.
+        ``Allocation._span_records`` — must keep resolving).  The id must be
+        positive and unused; the auto-assignment counter advances past it so
+        later spans never collide.
         """
         self._check_window(start, duration)
         if request < 0:
@@ -250,6 +257,14 @@ class Planner:
                 f"request {request} exceeds pool total {self.total}"
                 f" ({self.resource_type or 'resource'})"
             )
+        if span_id is not None:
+            if span_id < 1:
+                raise PlannerError(f"span id must be >= 1, got {span_id}")
+            if span_id in self._spans:
+                raise PlannerError(
+                    f"span id {span_id} already in use"
+                    f" ({self.resource_type or 'resource'})"
+                )
         if not self.avail_during(start, duration, request):
             raise PlannerError(
                 f"request {request}x[{start},{start + duration}) unavailable"
@@ -267,8 +282,11 @@ class Planner:
                 point.in_use += request
                 point.remaining -= request
                 self._et.insert(point)
-        span_id = self._next_span_id
-        self._next_span_id += 1
+        if span_id is None:
+            span_id = self._next_span_id
+            self._next_span_id += 1
+        else:
+            self._next_span_id = max(self._next_span_id, span_id + 1)
         self._spans[span_id] = Span(span_id, start, end, request, metadata or {})
         return span_id
 
@@ -342,6 +360,71 @@ class Planner:
         """Drop all spans, returning the planner to its initial state."""
         for span_id in list(self._spans):
             self.rem_span(span_id)
+
+    # ------------------------------------------------------------------
+    # state export / import (crash recovery)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Serialise the planner's bookings to a JSON-able mapping.
+
+        The document captures every active span (with its id) plus the
+        auto-id counter, so :meth:`import_state` rebuilds a planner whose
+        future behaviour — including the ids it will hand out next — is
+        identical to this one's.  Pool configuration (total/horizon/type)
+        is included for validation only; the importing planner must already
+        be configured identically.
+        """
+        return {
+            "total": self.total,
+            "plan_start": self.plan_start,
+            "plan_end": self.plan_end,
+            "resource_type": self.resource_type,
+            "next_span_id": self._next_span_id,
+            "spans": [
+                {
+                    "id": span.span_id,
+                    "start": span.start,
+                    "end": span.end,
+                    "request": span.request,
+                    "metadata": dict(span.metadata),
+                }
+                for span in self._spans.values()
+            ],
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Rebuild bookings from :meth:`export_state` output.
+
+        The planner must be empty and configured with the same pool total
+        and horizon; spans are re-inserted under their original ids and the
+        auto-id counter is restored exactly.
+        """
+        if self._spans:
+            raise PlannerError(
+                f"cannot import into a planner holding {len(self._spans)} spans"
+            )
+        for key, mine in (
+            ("total", self.total),
+            ("plan_start", self.plan_start),
+            ("plan_end", self.plan_end),
+        ):
+            if state.get(key) != mine:
+                raise PlannerError(
+                    f"planner state mismatch on {key}: "
+                    f"exported {state.get(key)}, importing into {mine}"
+                )
+        for record in state.get("spans", ()):
+            self.add_span(
+                record["start"],
+                record["end"] - record["start"],
+                record["request"],
+                metadata=dict(record.get("metadata") or {}),
+                span_id=record["id"],
+            )
+        self._next_span_id = max(
+            int(state.get("next_span_id", self._next_span_id)),
+            self._next_span_id,
+        )
 
     def resize(self, new_total: int) -> None:
         """Grow or shrink the pool's schedulable quantity (elasticity, §5.5).

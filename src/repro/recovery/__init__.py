@@ -1,0 +1,50 @@
+"""Crash-consistent scheduler state: snapshots, write-ahead journal, replay.
+
+Production Fluxion reconstructs its resource/planner state from R allocation
+records when the scheduling module reloads; this package gives the
+reproduction's simulator the same durability story, extended with a
+write-ahead journal so *nothing* is lost between snapshots:
+
+* :mod:`~repro.recovery.snapshot` — serialise/restore the complete
+  scheduler state as one versioned, checksummed document;
+* :mod:`~repro.recovery.journal` — CRC-framed write-ahead journal with
+  torn-tail detection;
+* :mod:`~repro.recovery.manager` — :class:`RecoveryManager` (journals an
+  attached simulator, snapshots periodically) and :func:`recover` (restore
+  newest snapshot + replay journal suffix);
+* :mod:`~repro.recovery.crash` — :class:`CrashInjector` killing the
+  scheduler at named cut points, for restart-equivalence testing;
+* :mod:`~repro.recovery.diff` — :func:`state_diff` proving a recovered
+  simulator equivalent to an uninterrupted control run.
+
+See ``docs/recovery.md`` for formats and guarantees.
+"""
+
+from .crash import CRASH_POINTS, CrashInjector, SimulatedCrash
+from .diff import state_diff, state_fingerprint
+from .journal import Journal, read_journal
+from .manager import RecoveryManager, recover
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    load_snapshot,
+    restore_simulator,
+    snapshot_state,
+    write_snapshot,
+)
+
+__all__ = [
+    "CRASH_POINTS",
+    "CrashInjector",
+    "SimulatedCrash",
+    "state_diff",
+    "state_fingerprint",
+    "Journal",
+    "read_journal",
+    "RecoveryManager",
+    "recover",
+    "SNAPSHOT_VERSION",
+    "load_snapshot",
+    "restore_simulator",
+    "snapshot_state",
+    "write_snapshot",
+]

@@ -1,0 +1,169 @@
+"""Write-ahead journal with per-record CRC framing and torn-tail recovery.
+
+Every state-mutating scheduler command is appended *before* it is applied
+(write-ahead), so after a crash the journal suffix re-executes exactly the
+work the dead scheduler had started.  Records are JSON, one per line, framed
+as::
+
+    <seq>:<crc32 of payload, 8 hex digits>:<payload JSON>\\n
+
+``seq`` is a monotonic sequence number starting at 1.  A crash can tear the
+*last* record (partial line, missing newline, CRC mismatch); recovery drops
+the torn suffix and truncates the file so appends continue cleanly.  A bad
+record *followed by further valid records* is not a torn write — the journal
+body is damaged and :class:`~repro.errors.JournalCorruptError` refuses to
+guess.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any, Dict, List, Tuple
+
+from ..errors import JournalCorruptError, JournalError
+
+__all__ = ["Journal", "read_journal", "append_record", "frame_record"]
+
+
+def frame_record(seq: int, record: Dict[str, Any]) -> bytes:
+    """Encode one journal record into its on-disk framing."""
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    body = payload.encode("utf-8")
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return f"{seq}:{crc:08x}:".encode("ascii") + body + b"\n"
+
+
+def _parse_line(line: bytes) -> Tuple[int, Dict[str, Any]]:
+    """Decode one framed line (without trailing newline); raise ValueError."""
+    head, _, rest = line.partition(b":")
+    crc_text, _, body = rest.partition(b":")
+    if not head or not crc_text or not body:
+        raise ValueError("malformed frame")
+    seq = int(head)
+    crc = int(crc_text, 16)
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise ValueError("CRC mismatch")
+    record = json.loads(body.decode("utf-8"))
+    if not isinstance(record, dict):
+        raise ValueError("payload is not an object")
+    return seq, record
+
+
+def read_journal(path: str) -> Tuple[List[Dict[str, Any]], int, int]:
+    """Read ``path``; return ``(records, torn_dropped, valid_bytes)``.
+
+    Each returned record carries its sequence number under ``"seq"``.
+    ``torn_dropped`` counts invalid trailing records dropped (0 or 1 for a
+    single torn write; a missing file reads as empty).  ``valid_bytes`` is
+    the byte length of the valid prefix — truncate to it before appending.
+
+    Raises :class:`JournalCorruptError` when an invalid record is *followed*
+    by valid ones, or when sequence numbers are not strictly consecutive.
+    """
+    if not os.path.exists(path):
+        return [], 0, 0
+    with open(path, "rb") as handle:
+        data = handle.read()
+    records: List[Dict[str, Any]] = []
+    valid_bytes = 0
+    torn = 0
+    offset = 0
+    lines = data.split(b"\n")
+    # A well-formed file ends with a newline, so split() yields a final
+    # empty chunk; anything else trailing is a torn (unterminated) record.
+    for index, line in enumerate(lines):
+        terminated = index < len(lines) - 1
+        if not terminated and line == b"":
+            break  # clean end of file
+        try:
+            if not terminated:
+                raise ValueError("unterminated record")
+            seq, record = _parse_line(line)
+            expected = records[-1]["seq"] + 1 if records else None
+            if expected is not None and seq != expected:
+                raise JournalCorruptError(
+                    f"journal {path!r}: sequence jump "
+                    f"{records[-1]['seq']} -> {seq}"
+                )
+        except ValueError:
+            # Invalid record: torn tail if nothing valid follows.
+            remainder = lines[index + 1 :]
+            if any(chunk for chunk in remainder):
+                raise JournalCorruptError(
+                    f"journal {path!r}: corrupt record at byte {offset} "
+                    "with valid records after it"
+                ) from None
+            torn = 1
+            break
+        record["seq"] = seq
+        records.append(record)
+        offset += len(line) + 1
+        valid_bytes = offset
+    return records, torn, valid_bytes
+
+
+def append_record(path: str, seq: int, record: Dict[str, Any]) -> None:
+    """One-shot append (open, write, flush, fsync, close)."""
+    with open(path, "ab") as handle:
+        handle.write(frame_record(seq, record))
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+class Journal:
+    """Append-only journal writer.
+
+    Parameters
+    ----------
+    path:
+        Journal file.  Created empty when absent; appended to otherwise
+        (pass ``start_seq`` to continue an existing sequence).
+    start_seq:
+        Last sequence number already present (next append is ``+1``).
+    fsync:
+        Issue ``os.fsync`` after every record (the durability barrier).
+        Off by default: tests and simulations only need the crash
+        consistency *logic*, and per-record fsync dominates runtime.
+    """
+
+    def __init__(self, path: str, start_seq: int = 0, fsync: bool = False) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._seq = start_seq
+        self._handle = open(path, "ab")
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently appended record."""
+        return self._seq
+
+    def append(self, record: Dict[str, Any]) -> int:
+        """Frame, write and flush ``record``; returns its sequence number."""
+        if self._handle is None:
+            raise JournalError("journal is closed")
+        self._seq += 1
+        self._handle.write(frame_record(self._seq, record))
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        return self._seq
+
+    def barrier(self) -> None:
+        """Force an explicit durability barrier (flush + fsync)."""
+        if self._handle is None:
+            raise JournalError("journal is closed")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

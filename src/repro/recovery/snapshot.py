@@ -1,0 +1,277 @@
+"""Snapshots: one versioned, checksummed document for the whole scheduler.
+
+A snapshot captures everything a :class:`~repro.sched.ClusterSimulator`
+needs to resume: the resource graph (as JGF, including down/drained status
+and pruning-filter placement), every planner's spans (per-vertex ``plans``
+and ``xplans`` plus pruning-filter aggregates), active and reserved
+allocations, job and queue-policy state, the pending event heap, retry-policy
+RNG state and the accounting counters.  The document is wrapped with a
+SHA-256 checksum; a half-written or bit-rotted snapshot file fails
+verification and recovery falls back to an older one.
+
+Restores are *exact*: planner spans come back under their original ids (so
+future auto-assigned ids match), the event heap keeps its sequence
+tiebreakers, and vertices are matched by globally unique name (uniq_ids are
+graph-internal and reassigned on load).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import os
+from typing import Any, Dict, Optional
+
+from ..errors import SnapshotError
+from ..match.writer import Allocation, planner_owner_index
+from ..resource.jgf import from_jgf, to_jgf
+from ..sched.job import Job
+from ..sched.simulator import _FAIL, _REPAIR, ClusterSimulator
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "snapshot_state",
+    "restore_simulator",
+    "write_snapshot",
+    "load_snapshot",
+]
+
+SNAPSHOT_VERSION = 1
+
+
+def _planner_states(sim: ClusterSimulator) -> Dict[str, Dict[str, Any]]:
+    """Per-vertex planner exports, skipping pristine (never-touched) ones."""
+
+    def keep(state: Dict[str, Any]) -> bool:
+        return bool(state["spans"]) or state["next_span_id"] > 1
+
+    out: Dict[str, Dict[str, Any]] = {}
+    for vertex in sim.graph.vertices():
+        entry: Dict[str, Any] = {}
+        plans = vertex.plans.export_state()
+        if keep(plans):
+            entry["plans"] = plans
+        xplans = vertex.xplans.export_state()
+        if keep(xplans):
+            entry["xplans"] = xplans
+        if vertex.prune_filters is not None:
+            filt = vertex.prune_filters.export_state()
+            if filt["spans"] or filt["next_span_id"] > 1:
+                entry["filter"] = filt
+        if entry:
+            out[vertex.name] = entry
+    return out
+
+
+def _retry_policy_state(sim: ClusterSimulator) -> Optional[Dict[str, Any]]:
+    policy = sim.retry_policy
+    if policy is None:
+        return None
+    state = policy._rng.getstate()
+    return {
+        "config": {
+            "max_retries": policy.max_retries,
+            "backoff_base": policy.backoff_base,
+            "backoff_factor": policy.backoff_factor,
+            "backoff_cap": policy.backoff_cap,
+            "jitter": policy.jitter,
+            "priority_boost": policy.priority_boost,
+            "checkpoint_period": policy.checkpoint_period,
+            "seed": policy.seed,
+        },
+        "rng_state": [state[0], list(state[1]), state[2]],
+    }
+
+
+def snapshot_state(sim: ClusterSimulator, seq: int = 0) -> Dict[str, Any]:
+    """Serialise the complete simulator state at journal sequence ``seq``.
+
+    Journal records with sequence numbers greater than ``seq`` replay on top
+    of this snapshot during recovery.
+    """
+    owner = planner_owner_index(sim.graph)
+    events = []
+    for when, kind, eseq, ref, data in sorted(sim._events):
+        if kind in (_FAIL, _REPAIR):
+            ref = sim.graph.vertex(ref).name
+        events.append([when, kind, eseq, ref, data])
+    # Completed jobs keep references to already-released allocations (their
+    # windows feed the report), so serialise the union of live traverser
+    # allocations and everything any job still points at.
+    all_allocs = dict(sim.traverser.allocations)
+    for job in sim.jobs.values():
+        for alloc in job.allocations:
+            all_allocs.setdefault(alloc.alloc_id, alloc)
+    return {
+        "version": SNAPSHOT_VERSION,
+        "seq": seq,
+        "now": sim.now,
+        "config": {
+            "match_policy": sim.traverser.policy.name,
+            "queue": sim.queue_policy.name,
+            "queue_state": sim.queue_policy.export_state(),
+            "prune": sim.traverser.prune,
+            "audit": sim.auditor is not None,
+        },
+        "graph": to_jgf(sim.graph),
+        "planners": _planner_states(sim),
+        "allocations": [
+            alloc.to_record(owner) for _, alloc in sorted(all_allocs.items())
+        ],
+        "live_alloc_ids": sorted(sim.traverser.allocations),
+        "next_alloc_id": sim.traverser._next_alloc_id,
+        "traverser_stats": dict(sim.traverser.stats),
+        "jobs": [job.to_record() for _, job in sorted(sim.jobs.items())],
+        "next_job_id": sim._next_job_id,
+        "events": events,
+        "event_seq": sim._event_seq,
+        "started_allocs": sorted(sim._started_allocs),
+        "event_log": [list(entry) for entry in sim.event_log],
+        "counters": {
+            "failures": sim.failures,
+            "retries": sim.retries,
+            "busy_node_seconds": sim._busy_node_seconds,
+            "work_lost": sim._work_lost,
+        },
+        "down_since": {
+            sim.graph.vertex(uid).name: [t, nodes]
+            for uid, (t, nodes) in sim._down_since.items()
+        },
+        "downtime": [
+            [sim.graph.vertex(uid).name, t0, t1, nodes]
+            for uid, t0, t1, nodes in sim._downtime
+        ],
+        "retry_policy": _retry_policy_state(sim),
+        "recovery_stats": dict(sim.recovery_stats),
+    }
+
+
+def restore_simulator(doc: Dict[str, Any]) -> ClusterSimulator:
+    """Rebuild a fresh :class:`ClusterSimulator` from a snapshot document."""
+    if doc.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {doc.get('version')!r}"
+        )
+    graph = from_jgf(doc["graph"])
+    config = doc["config"]
+    retry_policy = None
+    retry_state = doc.get("retry_policy")
+    if retry_state is not None:
+        from ..resilience.retry import RetryPolicy
+
+        retry_policy = RetryPolicy(**retry_state["config"])
+        version, internal, gauss = retry_state["rng_state"]
+        retry_policy._rng.setstate((version, tuple(internal), gauss))
+    sim = ClusterSimulator(
+        graph,
+        match_policy=config["match_policy"],
+        queue=config["queue"],
+        prune=config["prune"],
+        retry_policy=retry_policy,
+        audit=config["audit"],
+    )
+    by_name = {v.name: v for v in graph.vertices()}
+
+    # planner spans (before allocations, which reference them by id)
+    for name, entry in doc["planners"].items():
+        try:
+            vertex = by_name[name]
+        except KeyError:
+            raise SnapshotError(
+                f"snapshot references unknown vertex {name!r}"
+            ) from None
+        if "plans" in entry:
+            vertex.plans.import_state(entry["plans"])
+        if "xplans" in entry:
+            vertex.xplans.import_state(entry["xplans"])
+        if "filter" in entry:
+            if vertex.prune_filters is None:
+                raise SnapshotError(
+                    f"snapshot has filter spans for {name!r} but the "
+                    "restored graph installed no filter there"
+                )
+            vertex.prune_filters.import_state(entry["filter"])
+
+    live = set(doc["live_alloc_ids"])
+    allocations: Dict[int, Allocation] = {}
+    for record in doc["allocations"]:
+        alloc = Allocation.from_record(record, by_name)
+        if alloc.alloc_id in live:
+            sim.traverser.install_allocation(alloc)
+        allocations[alloc.alloc_id] = alloc
+    sim.traverser._next_alloc_id = max(
+        sim.traverser._next_alloc_id, int(doc["next_alloc_id"])
+    )
+    sim.traverser.stats = dict(doc["traverser_stats"])
+
+    for record in doc["jobs"]:
+        job = Job.from_record(record, allocations)
+        sim.jobs[job.job_id] = job
+    sim._next_job_id = int(doc["next_job_id"])
+    sim.queue_policy.import_state(config["queue_state"], sim.jobs)
+
+    events = []
+    for when, kind, eseq, ref, data in doc["events"]:
+        if kind in (_FAIL, _REPAIR):
+            ref = by_name[ref].uniq_id
+        events.append((when, kind, eseq, ref, data))
+    heapq.heapify(events)
+    sim._events = events
+    sim._event_seq = int(doc["event_seq"])
+    sim.now = doc["now"]
+    sim._started_allocs = set(doc["started_allocs"])
+    sim.event_log = [tuple(entry) for entry in doc["event_log"]]
+    counters = doc["counters"]
+    sim.failures = counters["failures"]
+    sim.retries = counters["retries"]
+    sim._busy_node_seconds = counters["busy_node_seconds"]
+    sim._work_lost = counters["work_lost"]
+    sim._down_since = {
+        by_name[name].uniq_id: (t, nodes)
+        for name, (t, nodes) in doc["down_since"].items()
+    }
+    sim._downtime = [
+        (by_name[name].uniq_id, t0, t1, nodes)
+        for name, t0, t1, nodes in doc["downtime"]
+    ]
+    sim.recovery_stats = dict(doc["recovery_stats"])
+    return sim
+
+
+def write_snapshot(doc: Dict[str, Any], path: str) -> None:
+    """Write ``doc`` to ``path`` wrapped with a SHA-256 checksum.
+
+    The write goes through a temporary file + ``os.replace`` so a crash
+    mid-write can never leave a half-written file under the final name.
+    """
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    wrapper = {"sha256": digest, "snapshot": doc}
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(wrapper, handle, sort_keys=True, separators=(",", ":"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    """Read and verify a snapshot file; raise :class:`SnapshotError`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            wrapper = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"cannot read snapshot {path!r}: {exc}") from exc
+    if (
+        not isinstance(wrapper, dict)
+        or "sha256" not in wrapper
+        or "snapshot" not in wrapper
+    ):
+        raise SnapshotError(f"snapshot {path!r} has no checksum wrapper")
+    doc = wrapper["snapshot"]
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    if digest != wrapper["sha256"]:
+        raise SnapshotError(f"snapshot {path!r} fails checksum verification")
+    return doc

@@ -75,10 +75,16 @@ class InvariantAuditor:
         :class:`~repro.sched.capacity.CapacitySchedule` instances whose
         outage spans legitimately live on the audited graph's planners
         outside any traverser allocation.
+    deep:
+        Additionally run every planner's internal
+        ``check_invariants()`` (tree-structure self-checks) each audit —
+        the **planner-invariants** family.  Off by default: it is O(spans)
+        per planner and the recovery tests are its main consumer.
     """
 
-    def __init__(self, capacity_schedules: Sequence = ()) -> None:
+    def __init__(self, capacity_schedules: Sequence = (), deep: bool = False) -> None:
         self.capacity_schedules = list(capacity_schedules)
+        self.deep = deep
         #: audits performed (each one covers every invariant family)
         self.checks_run = 0
 
@@ -102,7 +108,36 @@ class InvariantAuditor:
         self._check_exclusivity(sim, active, out)
         self._check_job_states(sim, out)
         self._check_down_vertices(sim, active, out)
+        if self.deep:
+            self._check_planner_invariants(sim, out)
         return out
+
+    def _check_planner_invariants(self, sim, out: List[Violation]) -> None:
+        """Run every planner's internal self-checks (``deep`` mode).
+
+        Restored planners must be indistinguishable from organically built
+        ones down to their tree structure; any assertion a planner trips is
+        surfaced as a **planner-invariants** violation.
+        """
+        for vertex in sim.graph.vertices():
+            named = [
+                (vertex.plans.resource_type or "plans", vertex.plans),
+                (vertex.xplans.resource_type or "xplans", vertex.xplans),
+            ]
+            if vertex.prune_filters is not None:
+                named.append(("filter", vertex.prune_filters))
+            for label, planner in named:
+                try:
+                    planner.check_invariants()
+                except (AssertionError, FluxionError) as exc:
+                    out.append(
+                        Violation(
+                            "planner-invariants",
+                            f"{vertex.name}.{label}",
+                            "internal planner invariants hold",
+                            f"{exc!r}",
+                        )
+                    )
 
     def _check_ownership(self, sim, live, active, out: List[Violation]) -> None:
         owner: Dict[int, int] = {}

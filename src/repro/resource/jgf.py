@@ -49,16 +49,33 @@ def to_jgf(graph: ResourceGraph) -> Dict[str, Any]:
         )
     edges = []
     for edge in graph.edges():
+        metadata: Dict[str, Any] = {
+            "subsystem": edge.subsystem,
+            "name": {edge.subsystem: edge.type},
+        }
+        if edge.properties:
+            metadata["properties"] = dict(edge.properties)
         edges.append(
             {
                 "source": str(edge.src),
                 "target": str(edge.dst),
-                "metadata": {
-                    "subsystem": edge.subsystem,
-                    "name": {edge.subsystem: edge.type},
-                },
+                "metadata": metadata,
             }
         )
+    # Record where pruning filters actually sit so a reload re-installs them
+    # at the same levels (rabbit systems filter at rack/rabbit, LOD presets
+    # at rack/node, ...).  Roots always get filters, so only non-root
+    # placements need recording.
+    root_ids = set()
+    for subsystem in graph.subsystems:
+        root_ids.update(v.uniq_id for v in graph.roots(subsystem))
+    prune_at = sorted(
+        {
+            v.type
+            for v in graph.vertices()
+            if v.prune_filters is not None and v.uniq_id not in root_ids
+        }
+    )
     return {
         "graph": {
             "directed": True,
@@ -68,6 +85,7 @@ def to_jgf(graph: ResourceGraph) -> Dict[str, Any]:
                 "plan_start": graph.plan_start,
                 "plan_end": graph.plan_end,
                 "prune_types": list(graph.prune_types),
+                "prune_at": prune_at,
             },
         }
     }
@@ -77,9 +95,10 @@ def from_jgf(source: Union[str, Mapping[str, Any]]) -> ResourceGraph:
     """Rebuild a :class:`ResourceGraph` from a JGF mapping or JSON text.
 
     Vertex ``uniq_id`` values are reassigned (they are graph-internal);
-    logical ids, names, paths and structure are preserved exactly.  If the
-    document records ``prune_types``, matching pruning filters are
-    reinstalled at rack/node levels.
+    logical ids, names, paths, edge properties and structure are preserved
+    exactly.  If the document records ``prune_types``, matching pruning
+    filters are reinstalled at the recorded ``prune_at`` levels (falling
+    back to rack/node for documents written before ``prune_at`` existed).
     """
     if isinstance(source, str):
         try:
@@ -142,11 +161,21 @@ def from_jgf(source: Union[str, Mapping[str, Any]]) -> ResourceGraph:
         subsystem = meta.get("subsystem", "containment")
         names = meta.get("name") or {}
         edge_type = names.get(subsystem, "contains")
-        graph.add_edge(src, dst, subsystem=subsystem, edge_type=edge_type)
+        properties = meta.get("properties") or None
+        graph.add_edge(
+            src,
+            dst,
+            subsystem=subsystem,
+            edge_type=edge_type,
+            properties=dict(properties) if properties else None,
+        )
     prune_types = doc_meta.get("prune_types") or []
     if prune_types:
+        at_types = doc_meta.get("prune_at")
+        if at_types is None:  # pre-``prune_at`` documents
+            at_types = ["rack", "node"]
         graph.install_pruning_filters(
-            list(prune_types), at_types=["rack", "node"]
+            list(prune_types), at_types=list(at_types)
         )
     return graph
 

@@ -135,6 +135,64 @@ class Job:
         """True while the job still holds or may acquire resources."""
         return self.state in (JobState.PENDING, JobState.RESERVED, JobState.RUNNING)
 
+    # ------------------------------------------------------------------
+    # snapshot records (crash recovery)
+    # ------------------------------------------------------------------
+    def to_record(self) -> dict:
+        """Serialise this job for a scheduler snapshot.
+
+        Allocations are recorded by id only — the snapshot layer serialises
+        them once through the traverser and rewires references on restore.
+        """
+        return {
+            "job_id": self.job_id,
+            "jobspec": self.jobspec.to_dict(),
+            "submit_time": self.submit_time,
+            "name": self.name,
+            "priority": self.priority,
+            "state": self.state.value,
+            "alloc_ids": [a.alloc_id for a in self.allocations],
+            "sched_time": self.sched_time,
+            "actual_duration": self.actual_duration,
+            "cancel_reason": (
+                None if self.cancel_reason is None else self.cancel_reason.value
+            ),
+            "attempt": self.attempt,
+            "retry_of": self.retry_of,
+            "work_credited": self.work_credited,
+            "ran_seconds": self.ran_seconds,
+            "finished_at": self.finished_at,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict, allocations: dict) -> "Job":
+        """Rebuild a job from :meth:`to_record` output.
+
+        ``allocations`` maps alloc id -> restored Allocation; ids a job
+        references must already be present there.
+        """
+        from ..jobspec import parse_jobspec
+
+        reason = record.get("cancel_reason")
+        job = cls(
+            job_id=int(record["job_id"]),
+            jobspec=parse_jobspec(record["jobspec"]),
+            submit_time=int(record["submit_time"]),
+            name=record.get("name", ""),
+            priority=int(record.get("priority", 0)),
+            state=JobState(record["state"]),
+            allocations=[allocations[int(i)] for i in record["alloc_ids"]],
+            sched_time=float(record.get("sched_time", 0.0)),
+            actual_duration=record.get("actual_duration"),
+            cancel_reason=None if reason is None else CancelReason(reason),
+            attempt=int(record.get("attempt", 0)),
+            retry_of=record.get("retry_of"),
+            work_credited=int(record.get("work_credited", 0)),
+            ran_seconds=int(record.get("ran_seconds", 0)),
+            finished_at=record.get("finished_at"),
+        )
+        return job
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         window = ""
         if self.allocation:

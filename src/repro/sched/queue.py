@@ -59,6 +59,14 @@ class QueuePolicy:
         job.allocations.append(alloc)
         job.transition(JobState.RUNNING if alloc.at <= now else JobState.RESERVED)
 
+    # -- snapshot state (crash recovery) -------------------------------
+    def export_state(self) -> dict:
+        """Policy-internal state to carry across a restart (default: none)."""
+        return {}
+
+    def import_state(self, state: dict, jobs: Dict[int, Job]) -> None:
+        """Restore :meth:`export_state` output; ``jobs`` maps id -> Job."""
+
 
 class FCFSQueue(QueuePolicy):
     """First-come first-served without backfilling."""
@@ -119,6 +127,20 @@ class EasyBackfill(QueuePolicy):
                 if alloc is not None:
                     self._attach(job, alloc, now)
 
+    def export_state(self) -> dict:
+        return {
+            "head_reservation": {
+                str(job_id): alloc_id
+                for job_id, (_job, alloc_id) in self._head_reservation.items()
+            }
+        }
+
+    def import_state(self, state: dict, jobs: Dict[int, Job]) -> None:
+        self._head_reservation = {
+            int(job_id): (jobs[int(job_id)], int(alloc_id))
+            for job_id, alloc_id in (state.get("head_reservation") or {}).items()
+        }
+
 
 class ConservativeBackfill(QueuePolicy):
     """Conservative backfilling: every job allocates now or reserves.
@@ -157,6 +179,12 @@ class ConservativeBackfill(QueuePolicy):
                 self._attach(job, alloc, now)
                 if alloc.reserved:
                     reserved += 1
+
+    def export_state(self) -> dict:
+        return {"depth": self.depth}
+
+    def import_state(self, state: dict, jobs: Dict[int, Job]) -> None:
+        self.depth = state.get("depth")
 
 
 QUEUE_POLICIES = {

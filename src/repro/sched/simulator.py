@@ -27,8 +27,7 @@ cycle (:mod:`repro.resilience.auditor`).
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import SchedulerError
@@ -64,6 +63,17 @@ class SimulationReport:
     busy_node_seconds: int = 0
     #: mean observed repair time over completed down intervals (0 if none)
     mttr_observed: float = 0.0
+    # -- crash-recovery observability (repro.recovery) -----------------
+    #: snapshots written by an attached RecoveryManager
+    snapshots_taken: int = 0
+    #: write-ahead-journal records appended
+    journal_records: int = 0
+    #: journal records consumed while replaying after a restart
+    journal_replayed: int = 0
+    #: torn (truncated/corrupt) trailing journal records dropped on recovery
+    torn_records_dropped: int = 0
+    #: times this simulator state was restored from snapshot+journal
+    recoveries: int = 0
 
     @property
     def completed(self) -> List[Job]:
@@ -128,6 +138,19 @@ class SimulationReport:
                 f"{self.work_lost} node-s work lost, "
                 f"goodput={self.goodput():.2f}/{self.utilization():.2f}"
             )
+        if (
+            self.snapshots_taken
+            or self.journal_records
+            or self.recoveries
+            or self.torn_records_dropped
+        ):
+            text += (
+                f"; recovery: {self.snapshots_taken} snapshots, "
+                f"{self.journal_records} journal records, "
+                f"{self.recoveries} restarts "
+                f"({self.journal_replayed} replayed, "
+                f"{self.torn_records_dropped} torn dropped)"
+            )
         return text
 
 
@@ -173,7 +196,7 @@ class ClusterSimulator:
         self.jobs: Dict[int, Job] = {}
         self.now = graph.plan_start
         self._events: List[tuple] = []  # (time, kind, seq, ref, data)
-        self._seq = itertools.count()
+        self._event_seq = 0
         self._next_job_id = 1
         self._started_allocs: set = set()
         #: chronological (time, event, ref) log: submit/start/end/cancel/
@@ -192,6 +215,20 @@ class ClusterSimulator:
         self._downtime: List[Tuple[int, int, int, int]] = []  # uid, t0, t1, nodes
         self._busy_node_seconds = 0
         self._work_lost = 0
+        # crash recovery (repro.recovery): a RecoveryManager journals every
+        # top-level command before it is applied and restores state after a
+        # crash; a CrashInjector kills the process at named cut points.
+        self.recovery = None
+        self._crash_injector = None
+        self._replaying = False
+        self._applying = 0  # >0 while executing a journaled command
+        self.recovery_stats = {
+            "snapshots_taken": 0,
+            "journal_records": 0,
+            "journal_replayed": 0,
+            "torn_records_dropped": 0,
+            "recoveries": 0,
+        }
 
     # ------------------------------------------------------------------
     # submission
@@ -221,6 +258,16 @@ class ClusterSimulator:
             raise SchedulerError(
                 f"actual_duration must be >= 1, got {actual_duration}"
             )
+        self._journal(
+            {
+                "type": "submit",
+                "jobspec": jobspec.to_dict(),
+                "at": submit_time,
+                "name": name,
+                "priority": priority,
+                "actual_duration": actual_duration,
+            }
+        )
         job = Job(
             job_id=self._next_job_id,
             jobspec=jobspec,
@@ -239,6 +286,9 @@ class ClusterSimulator:
         """Cancel a pending/reserved/running job, releasing its resources."""
         if not job.is_active:
             raise SchedulerError(f"job {job.job_id} is not active")
+        self._journal(
+            {"type": "cancel", "job_id": job.job_id, "reason": reason.value}
+        )
         for alloc in job.allocations:
             if alloc.alloc_id in self.traverser.allocations:
                 self.traverser.remove(alloc.alloc_id)
@@ -257,6 +307,7 @@ class ClusterSimulator:
             raise SchedulerError(
                 f"cannot schedule a failure in the past (t={at} < now={self.now})"
             )
+        self._journal({"type": "sched_fail", "vertex": vertex.name, "at": at})
         self._push(at, _FAIL, vertex.uniq_id)
 
     def schedule_repair(self, vertex: ResourceVertex, at: int) -> None:
@@ -265,6 +316,7 @@ class ClusterSimulator:
             raise SchedulerError(
                 f"cannot schedule a repair in the past (t={at} < now={self.now})"
             )
+        self._journal({"type": "sched_repair", "vertex": vertex.name, "at": at})
         self._push(at, _REPAIR, vertex.uniq_id)
 
     def fail(
@@ -283,35 +335,55 @@ class ClusterSimulator:
 
         if vertex.status == "down":
             return [], []
-        self.graph.mark_down(vertex)
-        self.failures += 1
-        self._down_since[vertex.uniq_id] = (self.now, self._node_weight(vertex))
-        self.event_log.append((self.now, "fail", vertex.name))
-        victims = affected_jobs(self, vertex)
-        retries: List[Job] = []
-        for job in victims:
-            retry = self._kill(job, CancelReason.NODE_FAILURE, retry=resubmit)
-            if retry is not None:
-                retries.append(retry)
-        self._cycle()
+        self._journal(
+            {"type": "fail", "vertex": vertex.name, "resubmit": resubmit}
+        )
+        self._applying += 1
+        try:
+            self.graph.mark_down(vertex)
+            self.failures += 1
+            self._down_since[vertex.uniq_id] = (
+                self.now,
+                self._node_weight(vertex),
+            )
+            self.event_log.append((self.now, "fail", vertex.name))
+            victims = affected_jobs(self, vertex)
+            retries: List[Job] = []
+            for job in victims:
+                retry = self._kill(job, CancelReason.NODE_FAILURE, retry=resubmit)
+                if retry is not None:
+                    retries.append(retry)
+            self._cycle()
+        finally:
+            self._applying -= 1
         return victims, retries
 
     def repair(self, vertex: ResourceVertex) -> None:
         """Return a failed vertex to service and reschedule pending work."""
         if vertex.status == "up":
             return
-        self.graph.mark_up(vertex)
-        record = self._down_since.pop(vertex.uniq_id, None)
-        if record is not None:
-            down_at, nodes = record
-            self._downtime.append((vertex.uniq_id, down_at, self.now, nodes))
-        self.event_log.append((self.now, "repair", vertex.name))
-        self._cycle()
+        self._journal({"type": "repair", "vertex": vertex.name})
+        self._applying += 1
+        try:
+            self.graph.mark_up(vertex)
+            record = self._down_since.pop(vertex.uniq_id, None)
+            if record is not None:
+                down_at, nodes = record
+                self._downtime.append((vertex.uniq_id, down_at, self.now, nodes))
+            self.event_log.append((self.now, "repair", vertex.name))
+            self._cycle()
+        finally:
+            self._applying -= 1
 
     def reschedule(self) -> None:
         """Run one scheduling cycle now (public hook for external changes:
         repairs, graph growth, manual priority adjustments, ...)."""
-        self._cycle()
+        self._journal({"type": "reschedule"})
+        self._applying += 1
+        try:
+            self._cycle()
+        finally:
+            self._applying -= 1
 
     # ------------------------------------------------------------------
     # event loop
@@ -319,19 +391,43 @@ class ClusterSimulator:
     def run(self, until: Optional[int] = None) -> SimulationReport:
         """Process events until the heap drains (or simulated ``until``)."""
         while self._events:
-            when, kind, _, ref, data = self._events[0]
+            when = self._events[0][0]
             if until is not None and when > until:
                 break
-            heapq.heappop(self._events)
-            self._dispatch(when, kind, ref, data)
+            self.step()
         return self.report()
 
     def step(self) -> Optional[int]:
-        """Process a single event; returns its time or None when drained."""
+        """Process a single event; returns its time or None when drained.
+
+        The event is journaled as a ``dispatch`` command *before* it is
+        popped and applied (write-ahead), so a crash mid-application replays
+        it in full from the reconstructed heap.
+        """
         if not self._events:
             return None
-        when, kind, _, ref, data = heapq.heappop(self._events)
-        self._dispatch(when, kind, ref, data)
+        when, kind, _, ref, data = self._events[0]
+        self._journal(
+            {
+                "type": "dispatch",
+                "when": when,
+                "kind": kind,
+                "ref": (
+                    self.graph.vertex(ref).name
+                    if kind in (_FAIL, _REPAIR)
+                    else ref
+                ),
+                "data": data,
+            }
+        )
+        heapq.heappop(self._events)
+        self._applying += 1
+        try:
+            self._dispatch(when, kind, ref, data)
+        finally:
+            self._applying -= 1
+        if self.recovery is not None and not self._replaying:
+            self.recovery.after_event(self)
         return when
 
     def report(self) -> SimulationReport:
@@ -359,6 +455,11 @@ class ClusterSimulator:
             work_lost=self._work_lost,
             busy_node_seconds=self._busy_node_seconds,
             mttr_observed=sum(closed) / len(closed) if closed else 0.0,
+            snapshots_taken=self.recovery_stats["snapshots_taken"],
+            journal_records=self.recovery_stats["journal_records"],
+            journal_replayed=self.recovery_stats["journal_replayed"],
+            torn_records_dropped=self.recovery_stats["torn_records_dropped"],
+            recoveries=self.recovery_stats["recoveries"],
         )
 
     # ------------------------------------------------------------------
@@ -367,7 +468,28 @@ class ClusterSimulator:
     def _push(
         self, when: int, kind: int, ref: int, data: Optional[int] = None
     ) -> None:
-        heapq.heappush(self._events, (when, kind, next(self._seq), ref, data))
+        heapq.heappush(self._events, (when, kind, self._event_seq, ref, data))
+        self._event_seq += 1
+
+    def _journal(self, record: dict) -> None:
+        """Append ``record`` to the attached write-ahead journal.
+
+        Top-level calls journal *commands* (re-executed during recovery
+        replay); calls nested inside a command (``_applying > 0``) journal
+        observability *effects*, marked ``internal`` and skipped by replay
+        because re-executing the enclosing command regenerates them.  No-op
+        while replaying (the records being replayed are already on disk).
+        """
+        if self.recovery is None or self._replaying:
+            return
+        if self._applying > 0:
+            record = dict(record, internal=True)
+        self.recovery.record(record)
+
+    def _crashpoint(self, name: str) -> None:
+        """Named crash-injection cut point (see repro.recovery.crash)."""
+        if self._crash_injector is not None:
+            self._crash_injector.hit(name)
 
     def _dispatch(self, when: int, kind: int, ref: int, data: Optional[int]) -> None:
         self.now = max(self.now, when)
@@ -425,8 +547,10 @@ class ClusterSimulator:
             and alloc.alloc_id == alloc_id
             and alloc.at == self.now
         ):
+            self._crashpoint("start.pre")
             job.transition(JobState.RUNNING)
             self.event_log.append((self.now, "start", job.job_id))
+            self._crashpoint("start.post")
 
     def _finish_time(self, job: Job) -> Optional[int]:
         """When the job's current allocation actually stops running."""
@@ -446,16 +570,19 @@ class ClusterSimulator:
             or self._finish_time(job) != self.now
         ):
             return
+        self._crashpoint("end.pre")
         elapsed = self.now - alloc.at
         job.ran_seconds += elapsed
         self._busy_node_seconds += elapsed * max(1, self._nodes_of(job))
         for held in job.allocations:
             if held.alloc_id in self.traverser.allocations:
                 self.traverser.remove(held.alloc_id)
+        self._crashpoint("end.released")
         job.finished_at = self.now
         job.transition(JobState.COMPLETED)
         self.event_log.append((self.now, "end", job.job_id))
         self._cycle()
+        self._crashpoint("end.post")
 
     def _on_walltime(self, job: Job, alloc_id: Optional[int]) -> None:
         alloc = job.allocation
@@ -484,6 +611,7 @@ class ClusterSimulator:
         Checkpointing (``retry_policy.checkpoint_period``) credits completed
         work so the retry resumes with the remainder instead of restarting.
         """
+        self._crashpoint("kill.pre")
         policy = self.retry_policy
         elapsed = credited = 0
         if job.state is JobState.RUNNING and job.start_time is not None:
@@ -500,9 +628,12 @@ class ClusterSimulator:
         self._busy_node_seconds += elapsed * nodes
         self._work_lost += (elapsed - credited) * nodes
         self.cancel(job, reason=reason)
+        self._crashpoint("kill.canceled")
         if not retry:
+            self._crashpoint("kill.post")
             return None
         if policy is not None and not policy.should_retry(job.attempt):
+            self._crashpoint("kill.post")
             return None
         delay = 0 if policy is None else policy.delay(job.attempt)
         boost = 0 if policy is None else policy.priority_boost
@@ -522,6 +653,7 @@ class ClusterSimulator:
         retry_job.retry_of = job.retry_of if job.retry_of is not None else job.job_id
         retry_job.work_credited = job.work_credited + credited
         self.retries += 1
+        self._crashpoint("kill.post")
         return retry_job
 
     def _nodes_of(self, job: Job) -> int:
@@ -543,7 +675,9 @@ class ClusterSimulator:
 
     def _cycle(self) -> None:
         """Run one scheduling cycle and enqueue start/end/kill events."""
+        self._crashpoint("cycle.pre")
         self.queue_policy.cycle(self._pending_jobs(), self.traverser, self.now)
+        self._crashpoint("cycle.booked")
         for job in self.jobs.values():
             alloc = job.allocation
             if alloc is None or alloc.alloc_id in self._started_allocs:
@@ -561,3 +695,4 @@ class ClusterSimulator:
                 )
         if self.auditor is not None:
             self.auditor.check(self)
+        self._crashpoint("cycle.post")

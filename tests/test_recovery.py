@@ -1,0 +1,528 @@
+"""Crash-consistent scheduler state: snapshot, journal, recovery, equivalence.
+
+The acceptance bar is TestCrashEquivalence: for every named crash point, a
+simulator killed there (via :class:`CrashInjector`) and rebuilt from
+snapshot + journal must produce an event log identical to an uninterrupted
+control run, with an empty state diff and the invariant auditor (deep mode)
+running throughout.  TestJournal covers the torn-tail guarantees: a
+truncated or corrupt trailing record is dropped — never half-applied — and
+corruption *inside* the journal body refuses recovery.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import (
+    JournalCorruptError,
+    PlannerError,
+    RecoveryError,
+    SnapshotError,
+)
+from repro.grug import (
+    disaggregated_system,
+    fat_tree_cluster,
+    rabbit_system,
+    tiny_cluster,
+)
+from repro.jobspec import simple_node_jobspec
+from repro.match.writer import planner_owner_index
+from repro.planner import Planner, PlannerMulti
+from repro.recovery import (
+    CRASH_POINTS,
+    CrashInjector,
+    RecoveryManager,
+    SimulatedCrash,
+    load_snapshot,
+    read_journal,
+    recover,
+    restore_simulator,
+    snapshot_state,
+    state_diff,
+    write_snapshot,
+)
+from repro.recovery.journal import Journal, frame_record
+from repro.resilience import InvariantAuditor, RetryPolicy
+from repro.resource import ResourceGraph
+from repro.resource.jgf import from_jgf, to_jgf
+from repro.sched import ClusterSimulator
+
+
+# ----------------------------------------------------------------------
+# journal framing and torn-tail handling
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "j.wal")
+        with Journal(path) as journal:
+            for i in range(5):
+                assert journal.append({"type": "submit", "i": i}) == i + 1
+        records, torn, _ = read_journal(path)
+        assert torn == 0
+        assert [r["i"] for r in records] == list(range(5))
+        assert [r["seq"] for r in records] == [1, 2, 3, 4, 5]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        records, torn, valid = read_journal(str(tmp_path / "absent.wal"))
+        assert (records, torn, valid) == ([], 0, 0)
+
+    @pytest.mark.parametrize("cut", [1, 5, 10])
+    def test_truncated_tail_dropped(self, tmp_path, cut):
+        path = str(tmp_path / "j.wal")
+        with Journal(path) as journal:
+            for i in range(3):
+                journal.append({"i": i})
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - cut)
+        records, torn, valid = read_journal(path)
+        assert torn == 1
+        assert [r["i"] for r in records] == [0, 1]
+        # the valid prefix is exactly the first two framed records
+        assert valid == len(frame_record(1, {"i": 0})) + len(
+            frame_record(2, {"i": 1})
+        )
+
+    def test_corrupt_tail_crc_dropped(self, tmp_path):
+        path = str(tmp_path / "j.wal")
+        with Journal(path) as journal:
+            journal.append({"i": 0})
+            journal.append({"i": 1})
+        with open(path, "r+b") as handle:
+            handle.seek(-3, os.SEEK_END)
+            handle.write(b"X")  # flip a payload byte of the last record
+        records, torn, _ = read_journal(path)
+        assert torn == 1
+        assert [r["i"] for r in records] == [0]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "j.wal")
+        with Journal(path) as journal:
+            journal.append({"i": 0})
+            journal.append({"i": 1})
+            journal.append({"i": 2})
+        with open(path, "r+b") as handle:
+            handle.seek(5)
+            handle.write(b"XX")  # damage the first record's body
+        with pytest.raises(JournalCorruptError):
+            read_journal(path)
+
+    def test_sequence_gap_raises(self, tmp_path):
+        path = str(tmp_path / "j.wal")
+        with open(path, "wb") as handle:
+            handle.write(frame_record(1, {"i": 0}))
+            handle.write(frame_record(3, {"i": 2}))  # gap: 1 -> 3
+        with pytest.raises(JournalCorruptError):
+            read_journal(path)
+
+
+# ----------------------------------------------------------------------
+# JGF round-trip over GRUG presets (satellite: round-trip gaps)
+# ----------------------------------------------------------------------
+def _graph_facts(graph: ResourceGraph):
+    """Everything JGF must preserve, keyed by globally unique names."""
+    vertices = {
+        v.name: (
+            v.type,
+            v.basename,
+            v.id,
+            v.size,
+            v.unit,
+            v.status,
+            dict(v.properties),
+            dict(v.paths),
+        )
+        for v in graph.vertices()
+    }
+    edges = sorted(
+        (
+            graph.vertex(e.src).name,
+            graph.vertex(e.dst).name,
+            e.subsystem,
+            e.type,
+            tuple(sorted(e.properties.items())),
+        )
+        for e in graph.edges()
+    )
+    filters = {
+        v.name: dict(
+            (t, v.prune_filters.total(t)) for t in v.prune_filters.types
+        )
+        for v in graph.vertices()
+        if v.prune_filters is not None
+    }
+    return vertices, edges, filters
+
+
+PRESETS = {
+    "tiny": lambda: tiny_cluster(),
+    "rabbit": lambda: rabbit_system(chassis=2, nodes_per_chassis=2),
+    "fat_tree": lambda: fat_tree_cluster(),
+    "disaggregated": lambda: disaggregated_system(),
+}
+
+
+class TestJGFRoundTrip:
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_presets_round_trip(self, preset, seed):
+        import random
+
+        graph = PRESETS[preset]()
+        rng = random.Random(seed)
+        # seeded mutations: drain some vertices, decorate some properties
+        everything = list(graph.vertices())
+        for vertex in rng.sample(everything, k=max(1, len(everything) // 5)):
+            vertex.status = "down"
+        for vertex in rng.sample(everything, k=max(1, len(everything) // 4)):
+            vertex.properties["badge"] = f"b{rng.randrange(100)}"
+        rebuilt = from_jgf(to_jgf(graph))
+        assert _graph_facts(rebuilt) == _graph_facts(graph)
+        # round-tripping again is a fixed point
+        assert to_jgf(rebuilt) == to_jgf(from_jgf(to_jgf(rebuilt)))
+
+    def test_edge_properties_survive(self):
+        graph = ResourceGraph()
+        cluster = graph.add_vertex("cluster")
+        nodes = [graph.add_vertex("node") for _ in range(2)]
+        for node in nodes:
+            graph.add_edge(cluster, node)
+        # a network subsystem whose edges carry bandwidth annotations
+        switch = graph.add_vertex("switch")
+        graph.add_edge(cluster, switch, subsystem="network",
+                       edge_type="connects")
+        for i, node in enumerate(nodes):
+            graph.add_edge(
+                switch, node, subsystem="network", edge_type="connects",
+                properties={"bandwidth": 100 + i, "link": f"eth{i}"},
+            )
+        rebuilt = from_jgf(json.dumps(to_jgf(graph)))
+        original = sorted(
+            tuple(sorted(e.properties.items()))
+            for e in graph.edges()
+            if e.properties
+        )
+        assert original, "test graph should carry edge properties"
+        restored = sorted(
+            tuple(sorted(e.properties.items()))
+            for e in rebuilt.edges()
+            if e.properties
+        )
+        assert restored == original
+
+    def test_filter_placement_survives_non_default_levels(self):
+        # rabbit systems install pruning filters at rack AND rabbit levels —
+        # not the rack/node default the old loader hard-coded.
+        graph = rabbit_system(chassis=2, nodes_per_chassis=2)
+        placed = {
+            v.type for v in graph.vertices() if v.prune_filters is not None
+        }
+        assert "rabbit" in placed
+        rebuilt = from_jgf(to_jgf(graph))
+        placed_rebuilt = {
+            v.type for v in rebuilt.vertices() if v.prune_filters is not None
+        }
+        assert placed_rebuilt == placed
+
+
+# ----------------------------------------------------------------------
+# planner restore hardening (satellite: exact restore paths)
+# ----------------------------------------------------------------------
+class TestPlannerRestore:
+    def test_add_span_with_explicit_id(self):
+        planner = Planner(10)
+        assert planner.add_span(0, 5, 4, span_id=7) == 7
+        assert planner.has_span(7)
+        # the auto counter jumps past the explicit id
+        assert planner.add_span(10, 5, 4) == 8
+
+    def test_explicit_id_collision_and_validation(self):
+        planner = Planner(10)
+        planner.add_span(0, 5, 4, span_id=3)
+        with pytest.raises(PlannerError):
+            planner.add_span(10, 5, 4, span_id=3)
+        with pytest.raises(PlannerError):
+            planner.add_span(10, 5, 4, span_id=0)
+
+    def test_low_explicit_id_does_not_skip_auto_ids(self):
+        a, b = Planner(10), Planner(10)
+        first = a.add_span(0, 5, 1)  # auto id 1
+        b.add_span(0, 5, 1, span_id=first)  # same id, explicit
+        # both planners hand out identical ids forever after
+        assert a.add_span(10, 5, 1) == b.add_span(10, 5, 1)
+
+    def test_export_import_exact(self):
+        planner = Planner(10, resource_type="core")
+        ids = [planner.add_span(i * 10, 8, 2 + i) for i in range(4)]
+        planner.rem_span(ids[1])
+        restored = Planner(10, resource_type="core")
+        restored.import_state(planner.export_state())
+        restored.check_invariants()
+        assert {s.span_id for s in restored.spans()} == {
+            s.span_id for s in planner.spans()
+        }
+        for t in (0, 5, 15, 25, 35):
+            assert restored.avail_at(t, 1) == planner.avail_at(t, 1)
+        # future ids continue identically
+        assert restored.add_span(100, 5, 1) == planner.add_span(100, 5, 1)
+
+    def test_update_span_end_on_restored_span(self):
+        planner = Planner(10)
+        sid = planner.add_span(0, 10, 6)
+        restored = Planner(10)
+        restored.import_state(planner.export_state())
+        restored.update_span_end(sid, 20)
+        restored.check_invariants()
+        assert restored.get_span(sid).end == 20
+        assert not restored.avail_during(15, 5, 5)
+
+    def test_import_requires_matching_pool(self):
+        planner = Planner(10)
+        planner.add_span(0, 5, 4)
+        other = Planner(8)
+        with pytest.raises(PlannerError):
+            other.import_state(planner.export_state())
+
+    def test_import_requires_empty(self):
+        planner = Planner(10)
+        planner.add_span(0, 5, 4)
+        target = Planner(10)
+        target.add_span(0, 5, 1)
+        with pytest.raises(PlannerError):
+            target.import_state(planner.export_state())
+
+    def test_multi_export_import_exact(self):
+        multi = PlannerMulti({"core": 8, "memory": 16})
+        sid = multi.add_span(0, 10, {"core": 4, "memory": 8})
+        multi.add_span(5, 10, {"core": 2})
+        restored = PlannerMulti({"core": 8, "memory": 16})
+        restored.import_state(multi.export_state())
+        restored.check_invariants()
+        assert restored.span_count == multi.span_count
+        assert restored.avail_at(5, {"core": 3}) == multi.avail_at(
+            5, {"core": 3}
+        )
+        restored.update_span_end(sid, 30)
+        assert not restored.avail_during(20, 5, {"core": 5})
+        # bundle ids continue identically
+        assert restored.add_span(50, 5, {"core": 1}) == multi.add_span(
+            50, 5, {"core": 1}
+        )
+
+    def test_multi_explicit_id(self):
+        multi = PlannerMulti({"core": 8})
+        assert multi.add_span(0, 5, {"core": 2}, span_id=9) == 9
+        with pytest.raises(PlannerError):
+            multi.add_span(5, 5, {"core": 2}, span_id=9)
+        assert multi.add_span(5, 5, {"core": 2}) == 10
+
+
+# ----------------------------------------------------------------------
+# snapshot round-trip
+# ----------------------------------------------------------------------
+def saturated_sim(**kwargs):
+    graph = tiny_cluster()
+    sim = ClusterSimulator(graph, match_policy="first", queue="easy", **kwargs)
+    for i in range(8):
+        sim.submit(simple_node_jobspec(cores=4, duration=500), at=i * 50)
+    return sim
+
+
+class TestSnapshot:
+    def test_mid_run_round_trip(self):
+        sim = saturated_sim(audit=True)
+        for _ in range(6):
+            sim.step()
+        doc = snapshot_state(sim, seq=0)
+        restored = restore_simulator(json.loads(json.dumps(doc)))
+        assert state_diff(sim, restored) == []
+        # both continue to identical completion
+        report_a = sim.run()
+        report_b = restored.run()
+        assert sim.event_log == restored.event_log
+        assert report_a.makespan == report_b.makespan
+        InvariantAuditor(deep=True).check(restored)
+
+    def test_checksum_detects_flip(self, tmp_path):
+        sim = saturated_sim()
+        path = str(tmp_path / "snap.json")
+        write_snapshot(snapshot_state(sim), path)
+        assert load_snapshot(path)["version"] == 1
+        blob = open(path, "rb").read()
+        flipped = blob.replace(b'"now":', b'"noW":', 1)
+        assert flipped != blob
+        with open(path, "wb") as handle:
+            handle.write(flipped)
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_retry_rng_state_round_trips(self):
+        policy = RetryPolicy(jitter=0.5, seed=3)
+        sim = saturated_sim(retry_policy=policy)
+        policy.delay(0)  # consume some RNG
+        restored = restore_simulator(snapshot_state(sim))
+        assert restored.retry_policy.delay(1) == policy.delay(1)
+
+
+# ----------------------------------------------------------------------
+# crash equivalence (the tentpole acceptance property)
+# ----------------------------------------------------------------------
+def chaos_sim(seed, recovery_dir=None):
+    """A workload exercising reservations, walltime kills and failures."""
+    graph = tiny_cluster()
+    sim = ClusterSimulator(
+        graph,
+        match_policy="first",
+        queue="easy",
+        retry_policy=RetryPolicy(
+            max_retries=2, backoff_base=30, jitter=0.2,
+            checkpoint_period=100, seed=seed,
+        ),
+        audit=InvariantAuditor(deep=True),
+    )
+    if recovery_dir is not None:
+        RecoveryManager(str(recovery_dir), snapshot_every=7).attach(sim)
+    for i in range(8):
+        sim.submit(
+            simple_node_jobspec(cores=4, duration=500), at=i * 50 + seed
+        )
+    sim.submit(
+        simple_node_jobspec(cores=4, duration=300),
+        at=60,
+        actual_duration=700,  # overruns its walltime -> kill + retry
+    )
+    node = next(iter(sim.graph.vertices("node")))
+    sim.schedule_failure(node, at=400)
+    sim.schedule_repair(node, at=900)
+    return sim
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("point", CRASH_POINTS)
+def test_crash_equivalence(tmp_path, point, seed):
+    control = chaos_sim(seed)
+    control.run()
+
+    sim = chaos_sim(seed, recovery_dir=tmp_path)
+    CrashInjector(point, nth=2).attach(sim)
+    try:
+        sim.run()
+        crashed = False
+    except SimulatedCrash:
+        crashed = True
+    if not crashed:  # workload never reached this cut point twice: retry 1st
+        sim2 = chaos_sim(seed, recovery_dir=tmp_path / "retry")
+        CrashInjector(point, nth=1).attach(sim2)
+        with pytest.raises(SimulatedCrash):
+            sim2.run()
+        recovered = recover(str(tmp_path / "retry"))
+    else:
+        recovered = recover(str(tmp_path))
+
+    recovered.run()
+    assert recovered.event_log == control.event_log
+    assert state_diff(control, recovered) == []
+    InvariantAuditor(deep=True).check(recovered)
+    report = recovered.report()
+    assert report.recoveries == 1
+    assert report.journal_replayed > 0
+    assert "recovery:" in report.summary()
+
+
+class TestRecoveryPath:
+    def test_recover_without_snapshot_raises(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            recover(str(tmp_path))
+
+    def test_torn_tail_recovers_by_dropping_suffix(self, tmp_path):
+        sim = chaos_sim(0, recovery_dir=tmp_path)
+        for _ in range(5):
+            sim.step()
+        journal = tmp_path / "journal.wal"
+        size = os.path.getsize(journal)
+        with open(journal, "r+b") as handle:
+            handle.truncate(size - 9)  # tear the final record
+        recovered = recover(str(tmp_path))
+        assert recovered.recovery_stats["torn_records_dropped"] == 1
+        # the truncated journal was repaired: future appends parse cleanly
+        recovered.run()
+        records, torn, _ = read_journal(str(journal))
+        assert torn == 0
+        assert records, "journal keeps accumulating after recovery"
+        InvariantAuditor(deep=True).check(recovered)
+
+    def test_falls_back_to_older_snapshot(self, tmp_path):
+        sim = chaos_sim(0, recovery_dir=tmp_path)
+        manager = sim.recovery
+        for _ in range(4):
+            sim.step()
+        manager.snapshot()
+        snapshots = sorted(
+            p for p in os.listdir(tmp_path) if p.startswith("snapshot-")
+        )
+        assert len(snapshots) == 2
+        # corrupt the newest snapshot; recovery must use the older one
+        with open(tmp_path / snapshots[-1], "r+b") as handle:
+            handle.seek(40)
+            handle.write(b"XXXX")
+        recovered = recover(str(tmp_path))
+        recovered.run()
+        control = chaos_sim(0)
+        control.run()
+        assert recovered.event_log == control.event_log
+
+    def test_periodic_snapshots_and_pruning(self, tmp_path):
+        sim = chaos_sim(0, recovery_dir=tmp_path)
+        sim.run()
+        report = sim.report()
+        assert report.snapshots_taken > 1
+        assert report.journal_records > 10
+        kept = [p for p in os.listdir(tmp_path) if p.startswith("snapshot-")]
+        assert len(kept) <= 2  # keep_snapshots default
+
+    def test_double_attach_rejected(self, tmp_path):
+        sim = chaos_sim(0, recovery_dir=tmp_path)
+        with pytest.raises(RecoveryError):
+            RecoveryManager(str(tmp_path / "other")).attach(sim)
+
+    def test_recovered_sim_survives_second_crash(self, tmp_path):
+        control = chaos_sim(1)
+        control.run()
+        sim = chaos_sim(1, recovery_dir=tmp_path)
+        CrashInjector("cycle.booked", nth=2).attach(sim)
+        with pytest.raises(SimulatedCrash):
+            sim.run()
+        middle = recover(str(tmp_path))
+        CrashInjector("end.pre", nth=1).attach(middle)
+        try:
+            middle.run()
+            crashed = False
+        except SimulatedCrash:
+            crashed = True
+        assert crashed
+        final = recover(str(tmp_path))
+        final.run()
+        assert final.event_log == control.event_log
+        assert state_diff(control, final) == []
+        assert final.report().recoveries == 2
+
+
+class TestAllocationRecords:
+    def test_to_record_from_record_round_trip(self):
+        sim = saturated_sim()
+        for _ in range(4):
+            sim.step()
+        owner = planner_owner_index(sim.graph)
+        by_name = {v.name: v for v in sim.graph.vertices()}
+        for alloc in sim.traverser.allocations.values():
+            record = json.loads(json.dumps(alloc.to_record(owner)))
+            rebuilt = type(alloc).from_record(record, by_name)
+            assert rebuilt.alloc_id == alloc.alloc_id
+            assert rebuilt.at == alloc.at
+            assert rebuilt.duration == alloc.duration
+            assert rebuilt.reserved == alloc.reserved
+            assert [s.vertex.name for s in rebuilt.selections] == [
+                s.vertex.name for s in alloc.selections
+            ]
+            assert rebuilt._span_records == alloc._span_records
