@@ -1,0 +1,35 @@
+"""Epsilon comparison helpers for float-typed times (fluxlint rule FLT001).
+
+Simulated time in this codebase is integer ticks, but *measured* times —
+``Job.sched_time``, ``SimulationReport.mttr_observed``, mean waits — are
+floats accumulated from wall-clock deltas or divisions.  Exact ``==`` on
+those is platform- and optimization-dependent; every comparison must go
+through these helpers so the tolerance is explicit and uniform.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TIME_EPSILON", "approx_eq", "approx_ne", "approx_zero", "approx_le"]
+
+#: default absolute tolerance for float-typed time comparisons (seconds)
+TIME_EPSILON = 1e-9
+
+
+def approx_eq(a: float, b: float, eps: float = TIME_EPSILON) -> bool:
+    """True when ``a`` and ``b`` differ by at most ``eps``."""
+    return abs(a - b) <= eps
+
+
+def approx_ne(a: float, b: float, eps: float = TIME_EPSILON) -> bool:
+    """True when ``a`` and ``b`` differ by more than ``eps``."""
+    return not approx_eq(a, b, eps)
+
+
+def approx_zero(a: float, eps: float = TIME_EPSILON) -> bool:
+    """True when ``a`` is within ``eps`` of zero."""
+    return abs(a) <= eps
+
+
+def approx_le(a: float, b: float, eps: float = TIME_EPSILON) -> bool:
+    """True when ``a`` is less than or approximately equal to ``b``."""
+    return a <= b + eps

@@ -56,6 +56,16 @@ class JobError(SchedulerError):
     """Raised on invalid job state transitions."""
 
 
+class SanitizerError(FluxionError):
+    """Raised by the FluxSan runtime sanitizer on a detected invariant
+    violation: span double-free, overlapping exclusive holds, pruning-filter
+    (SDFU) divergence, or a nondeterministic dual run.
+
+    The message always carries a usable report: what diverged, where it was
+    first touched, and which check fired.
+    """
+
+
 class RecoveryError(FluxionError):
     """Raised when crash-consistent state cannot be saved or restored."""
 

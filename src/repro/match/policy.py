@@ -20,7 +20,7 @@ Two hooks:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..errors import MatchError
 from ..jobspec import ResourceRequest
@@ -50,7 +50,7 @@ class MatchPolicy:
     #: in :meth:`key` order (cheaper).
     needs_full_feasible = False
 
-    def key(self, vertex: ResourceVertex, request: ResourceRequest):
+    def key(self, vertex: ResourceVertex, request: ResourceRequest) -> Any:
         """Sort key for candidate ordering (lower = preferred).
 
         Returning None for every vertex keeps discovery order.
@@ -95,7 +95,7 @@ class HighIdFirst(MatchPolicy):
 
     name = "high"
 
-    def key(self, vertex: ResourceVertex, request: ResourceRequest):
+    def key(self, vertex: ResourceVertex, request: ResourceRequest) -> Any:
         return (-vertex.id, -vertex.uniq_id)
 
 
@@ -104,7 +104,7 @@ class LowIdFirst(MatchPolicy):
 
     name = "low"
 
-    def key(self, vertex: ResourceVertex, request: ResourceRequest):
+    def key(self, vertex: ResourceVertex, request: ResourceRequest) -> Any:
         return (vertex.id, vertex.uniq_id)
 
 
@@ -118,7 +118,7 @@ class LocalityAware(MatchPolicy):
 
     name = "locality"
 
-    def key(self, vertex: ResourceVertex, request: ResourceRequest):
+    def key(self, vertex: ResourceVertex, request: ResourceRequest) -> Any:
         return (vertex.path("containment"), vertex.id)
 
 
@@ -142,7 +142,7 @@ class VariationAware(MatchPolicy):
     def _class(self, vertex: ResourceVertex) -> int:
         return vertex.properties.get(self.class_property, self.default_class)
 
-    def key(self, vertex: ResourceVertex, request: ResourceRequest):
+    def key(self, vertex: ResourceVertex, request: ResourceRequest) -> Any:
         return (self._class(vertex), vertex.id)
 
     def choose(
@@ -200,16 +200,26 @@ class CallbackPolicy(MatchPolicy):
         selection hook; providing one sets ``needs_full_feasible``.
     """
 
-    def __init__(self, key, name: str = "callback", choose=None):
+    def __init__(
+        self,
+        key: Callable[[ResourceVertex, ResourceRequest], Any],
+        name: str = "callback",
+        choose: Optional[Callable[[Sequence, int, ResourceRequest], Optional[List]]] = None,
+    ) -> None:
         self._key = key
         self.name = name
         self._choose = choose
         self.needs_full_feasible = choose is not None
 
-    def key(self, vertex: ResourceVertex, request: ResourceRequest):
+    def key(self, vertex: ResourceVertex, request: ResourceRequest) -> Any:
         return self._key(vertex, request)
 
-    def choose(self, feasible, needed, request):
+    def choose(
+        self,
+        feasible: Sequence,
+        needed: int,
+        request: ResourceRequest,
+    ) -> Optional[List]:
         if self._choose is None:
             return list(feasible)
         return self._choose(feasible, needed, request)

@@ -12,12 +12,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import RecoveryError
-from ..resource import ResourceVertex
+from ..resource import ResourceGraph, ResourceVertex
 
 __all__ = ["Selection", "Allocation", "planner_owner_index"]
 
 
-def planner_owner_index(graph) -> Dict[int, Tuple[str, str]]:
+def planner_owner_index(graph: ResourceGraph) -> Dict[int, Tuple[str, str]]:
     """Map ``id(planner object)`` -> ``(vertex name, kind)`` for every
     planner a graph owns (``plans``, ``xplans`` and pruning ``filter``).
 

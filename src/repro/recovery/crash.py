@@ -80,7 +80,7 @@ class CrashInjector:
         #: hit counters for every point, for post-mortem inspection
         self.hits: Dict[str, int] = {}
 
-    def attach(self, sim) -> None:
+    def attach(self, sim: "ClusterSimulator") -> None:
         """Install this injector on ``sim`` (one injector per simulator)."""
         sim._crash_injector = self
 

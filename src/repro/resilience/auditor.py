@@ -88,7 +88,7 @@ class InvariantAuditor:
         #: audits performed (each one covers every invariant family)
         self.checks_run = 0
 
-    def check(self, sim) -> None:
+    def check(self, sim: "ClusterSimulator") -> None:
         """Audit ``sim``; raise :class:`InvariantViolation` on any breakage."""
         violations = self.collect(sim)
         self.checks_run += 1
@@ -98,7 +98,7 @@ class InvariantAuditor:
     # ------------------------------------------------------------------
     # collection
     # ------------------------------------------------------------------
-    def collect(self, sim) -> List[Violation]:
+    def collect(self, sim: "ClusterSimulator") -> List[Violation]:
         """Run every check and return the violations (empty = healthy)."""
         out: List[Violation] = []
         live = sim.traverser.allocations

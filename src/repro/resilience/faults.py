@@ -19,6 +19,10 @@ import numpy as np
 
 from ..errors import SchedulerError
 
+if False:  # pragma: no cover - annotation-only imports
+    from ..resource import ResourceGraph
+    from ..sched.simulator import ClusterSimulator
+
 __all__ = ["FaultEvent", "FaultModel", "FaultInjector", "install_trace"]
 
 
@@ -126,7 +130,7 @@ class FaultInjector:
         self.horizon = horizon
         self.seed = seed
 
-    def generate(self, graph) -> List[FaultEvent]:
+    def generate(self, graph: "ResourceGraph") -> List[FaultEvent]:
         """Draw the failure trace for ``graph`` (sorted, deterministic)."""
         rng = np.random.default_rng(self.seed)
         events: List[FaultEvent] = []
@@ -149,7 +153,7 @@ class FaultInjector:
         events.sort(key=lambda e: (e.time, e.path, e.kind))
         return events
 
-    def install(self, sim) -> List[FaultEvent]:
+    def install(self, sim: "ClusterSimulator") -> List[FaultEvent]:
         """Generate the trace for ``sim.graph`` and enqueue every event."""
         events = self.generate(sim.graph)
         install_trace(sim, events)
@@ -157,7 +161,7 @@ class FaultInjector:
 
 
 def install_trace(
-    sim,
+    sim: "ClusterSimulator",
     events: Iterable[Union[FaultEvent, Sequence]],
 ) -> int:
     """Enqueue an explicit failure trace on a simulator's event heap.

@@ -445,7 +445,7 @@ class ResourceGraph:
             raise SubsystemError(f"unknown subsystem: {subsystem!r}")
         return SubsystemView(self, subsystem)
 
-    def to_networkx(self, subsystem: Optional[str] = None):
+    def to_networkx(self, subsystem: Optional[str] = None) -> Any:
         """Export to a networkx.DiGraph (vertex attrs: type, name, size, ...)."""
         import networkx as nx
 

@@ -76,7 +76,11 @@ class CapacitySchedule:
                     (v.xplans, v.xplans.add_span(start, duration, X_LIMIT))
                 )
             self._book_filters(vertex, subtree, start, duration, records)
-        except Exception:
+        except BaseException:
+            # BaseException on purpose: rollback must also run when the
+            # failure is a SimulatedCrash (which bypasses Exception so that
+            # ordinary handlers cannot swallow it).  The bare raise keeps the
+            # original cause intact.
             for planner, span_id in records:
                 planner.rem_span(span_id)
             raise

@@ -15,7 +15,7 @@ as one opaque allocation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from ..errors import SchedulerError
 from ..jobspec import Jobspec
@@ -119,7 +119,7 @@ class Instance:
         self.children.remove(child)
         child.parent = None
 
-    def walk(self):
+    def walk(self) -> Iterator["Instance"]:
         """Yield this instance and all descendants (pre-order)."""
         yield self
         for child in self.children:

@@ -49,9 +49,11 @@ class QueuePolicy:
     @staticmethod
     def _timed_match(job: Job, call, *args, **kwargs):
         """Run a traverser verb, accumulating wall time into job.sched_time."""
-        t0 = _time.perf_counter()
+        # sched_time is wall-clock observability only; it is excluded from
+        # state fingerprints so it cannot break replay determinism.
+        t0 = _time.perf_counter()  # fluxlint: disable=DET001
         result = call(*args, **kwargs)
-        job.sched_time += _time.perf_counter() - t0
+        job.sched_time += _time.perf_counter() - t0  # fluxlint: disable=DET001
         return result
 
     @staticmethod

@@ -27,6 +27,7 @@ cycle (:mod:`repro.resilience.auditor`).
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -177,6 +178,11 @@ class ClusterSimulator:
         scheduling cycle, raising
         :class:`~repro.resilience.InvariantViolation` on corrupt state.
         Pass ``True`` for a default auditor or an auditor instance.
+    sanitize:
+        Activate the :class:`~repro.statcheck.FluxSan` runtime sanitizer for
+        this simulator's lifetime (span double-free, exclusive-overlap and
+        SDFU-divergence checks).  Also enabled globally by setting the
+        ``FLUXSAN=1`` environment variable.
     """
 
     def __init__(
@@ -185,8 +191,9 @@ class ClusterSimulator:
         match_policy: "MatchPolicy | str" = "first",
         queue: "QueuePolicy | str" = "conservative",
         prune: bool = True,
-        retry_policy=None,
+        retry_policy: "Optional[RetryPolicy]" = None,
         audit: bool = False,
+        sanitize: bool = False,
     ) -> None:
         self.graph = graph
         self.traverser = Traverser(graph, policy=match_policy, prune=prune)
@@ -229,6 +236,13 @@ class ClusterSimulator:
             "torn_records_dropped": 0,
             "recoveries": 0,
         }
+        # opt-in runtime sanitizer (repro.statcheck): FLUXSAN=1 in the
+        # environment turns it on for every simulator; sanitize=True for one.
+        self.fluxsan = None
+        if sanitize or os.environ.get("FLUXSAN", "") not in ("", "0"):
+            from ..statcheck.sanitizer import FluxSan
+
+            self.fluxsan = FluxSan().activate()
 
     # ------------------------------------------------------------------
     # submission
