@@ -43,11 +43,21 @@ from .core import (
     lint_source,
     register_rule,
 )
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 from .sanitizer import DualRunReport, FluxSan, dual_run
 
 # Importing the rules module populates the registry as a side effect.
 from . import rules as _rules  # noqa: F401  (registration import)
+
+# The flow package registers the interprocedural analyses (SPAN001,
+# DET002, EXC002, JRN002) on import.
+from .cache import LintCache
+from .flow import (
+    FlowEngine,
+    all_flow_analyses,
+    analyze_sources,
+    register_flow_analysis,
+)
 
 __all__ = [
     "LintEngine",
@@ -61,6 +71,12 @@ __all__ = [
     "register_rule",
     "render_text",
     "render_json",
+    "render_sarif",
+    "LintCache",
+    "FlowEngine",
+    "all_flow_analyses",
+    "analyze_sources",
+    "register_flow_analysis",
     "FluxSan",
     "DualRunReport",
     "dual_run",

@@ -1,0 +1,119 @@
+"""Per-file lint result cache.
+
+Lint results are a pure function of (file content, rule set, lint engine
+version), so they cache perfectly: the key is a SHA-256 over the raw file
+bytes, the normalized path, the ids of the rules being run, and a schema
+constant bumped whenever rule semantics change.  Entries are tiny JSON
+documents under ``.statcheck-cache/`` (one file per key, two-level fanout
+to keep directories small).
+
+The cache is safe under concurrent writers (``--jobs N``): entries are
+written to a temp file and ``os.replace``-d into place, and a corrupt or
+truncated entry is treated as a miss and deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Iterable, List, Optional
+
+from .core import Violation
+
+__all__ = ["LintCache", "CACHE_SCHEMA_VERSION", "DEFAULT_CACHE_DIR"]
+
+#: bump when a rule's behavior changes so stale entries never resurface
+CACHE_SCHEMA_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".statcheck-cache"
+
+
+class LintCache:
+    """Content-addressed store of per-file lint results."""
+
+    def __init__(
+        self,
+        root: str = DEFAULT_CACHE_DIR,
+        rule_ids: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.root = root
+        self.signature = ",".join(sorted(rule_ids or ()))
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, path: str, raw: bytes) -> str:
+        digest = hashlib.sha256()
+        digest.update(raw)
+        digest.update(b"\x00")
+        digest.update(path.encode("utf-8", "replace"))
+        digest.update(b"\x00")
+        digest.update(self.signature.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(str(CACHE_SCHEMA_VERSION).encode("ascii"))
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key[2:] + ".json")
+
+    def get(self, key: str) -> Optional[List[Violation]]:
+        entry = self._entry_path(key)
+        try:
+            with open(entry, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            violations = [
+                Violation(
+                    path=item["path"],
+                    line=item["line"],
+                    col=item["col"],
+                    rule=item["rule"],
+                    message=item["message"],
+                )
+                for item in document["violations"]
+            ]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupt/truncated entry: treat as a miss and drop it.
+            self.misses += 1
+            try:
+                os.unlink(entry)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return violations
+
+    def put(self, key: str, violations: List[Violation]) -> None:
+        entry = self._entry_path(key)
+        directory = os.path.dirname(entry)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            document = {
+                "violations": [
+                    {
+                        "path": v.path,
+                        "line": v.line,
+                        "col": v.col,
+                        "rule": v.rule,
+                        "message": v.message,
+                    }
+                    for v in violations
+                ],
+            }
+            fd, temp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(document, handle)
+                os.replace(temp, entry)
+            except BaseException:
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full cache directory must never fail the lint.
+            return

@@ -1,4 +1,4 @@
-"""fluxlint / FluxSan command line: ``python -m repro.statcheck``.
+"""fluxlint / fluxflow / FluxSan command line: ``python -m repro.statcheck``.
 
 Exit codes follow the usual lint convention:
 
@@ -9,7 +9,11 @@ Exit codes follow the usual lint convention:
 Examples::
 
     python -m repro.statcheck src/repro              # lint the tree
-    python -m repro.statcheck --format json src/     # CI-friendly output
+    python -m repro.statcheck --flow src/repro       # + interprocedural
+    python -m repro.statcheck --flow --baseline statcheck-baseline.json src/repro
+    python -m repro.statcheck --format sarif --output lint.sarif src/repro
+    python -m repro.statcheck --jobs 4 --cache src/  # parallel + cached
+    python -m repro.statcheck --changed-only src/    # pre-commit speed
     python -m repro.statcheck --select DET001 src/   # one rule only
     python -m repro.statcheck --list-rules
     python -m repro.statcheck --dual-run tiny        # FluxSan determinism
@@ -18,12 +22,14 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
+import subprocess
 import sys
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Set, Tuple
 
 from ..errors import FluxionError, SanitizerError
-from .core import LintEngine, LintParseError, all_rules
-from .reporters import render_json, render_text
+from .core import LintEngine, LintParseError, Violation, all_rules
+from .reporters import render_json, render_sarif, render_text
 from .sanitizer import FluxSan, dual_run
 
 __all__ = ["main", "build_preset_simulator", "DUAL_RUN_PRESETS"]
@@ -82,20 +88,87 @@ def _run_dual(preset: str, out: Callable[[str], None]) -> int:
 
 
 def _list_rules(out: Callable[[str], None]) -> int:
+    from .flow.analyses import all_flow_analyses
+
     for rule_id, rule_cls in sorted(all_rules().items()):
         out(f"{rule_id}  {rule_cls.summary}")
+    for rule_id, analysis_cls in sorted(all_flow_analyses().items()):
+        out(f"{rule_id}  {analysis_cls.summary}  [--flow]")
     return 0
+
+
+def _changed_files() -> Set[str]:
+    """Absolute paths of files changed vs ``git merge-base HEAD main``,
+    plus untracked files — the ``--changed-only`` working set."""
+
+    def git(*argv: str) -> str:
+        proc = subprocess.run(
+            ("git",) + argv,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise FluxionError(
+                f"git {' '.join(argv)} failed: {proc.stderr.strip() or 'unknown error'}"
+            )
+        return proc.stdout
+
+    toplevel = git("rev-parse", "--show-toplevel").strip()
+    base = git("merge-base", "HEAD", "main").strip()
+    changed = git("diff", "--name-only", base).splitlines()
+    untracked = git("ls-files", "--others", "--exclude-standard").splitlines()
+    return {
+        os.path.realpath(os.path.join(toplevel, rel))
+        for rel in changed + untracked
+        if rel.strip()
+    }
+
+
+def _split_select(
+    raw: Optional[str], flow_enabled: bool, role: str = "select"
+) -> Tuple[Optional[List[str]], Optional[List[str]]]:
+    """Split a ``--select``/``--ignore`` list into (lint ids, flow ids).
+
+    Unknown ids raise; *selecting* a flow id without ``--flow`` raises with
+    a hint (ignoring one without ``--flow`` is a harmless no-op).
+    """
+    from .flow.analyses import all_flow_analyses
+
+    if raw is None:
+        return None, None
+    ids = [part.strip().upper() for part in raw.split(",") if part.strip()]
+    lint_registry = set(all_rules())
+    flow_registry = set(all_flow_analyses())
+    unknown = [i for i in ids if i not in lint_registry | flow_registry]
+    if unknown:
+        raise FluxionError(
+            f"unknown rule ids: {sorted(set(unknown))}; "
+            f"known: {sorted(lint_registry | flow_registry)}"
+        )
+    flow_ids = [i for i in ids if i in flow_registry]
+    if flow_ids and not flow_enabled and role == "select":
+        raise FluxionError(
+            f"rule ids {sorted(set(flow_ids))} are interprocedural; "
+            "add --flow to run them"
+        )
+    return [i for i in ids if i in lint_registry], flow_ids
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.statcheck",
-        description="fluxlint static analysis + FluxSan runtime checks",
+        description="fluxlint static analysis + fluxflow interprocedural "
+        "analysis + FluxSan runtime checks",
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="violation report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--select", default=None, metavar="RULES",
@@ -104,6 +177,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--ignore", default=None, metavar="RULES",
         help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--flow", action="store_true",
+        help="also run the interprocedural fluxflow analyses "
+        "(SPAN001, DET002, EXC002, JRN002)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppress findings recorded in this baseline file; only new "
+        "findings fail the run",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="lint files with N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="cache per-file lint results keyed by content hash",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: .statcheck-cache; implies --cache)",
+    )
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="only report on files changed since `git merge-base HEAD main` "
+        "(plus untracked files)",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
@@ -135,21 +239,102 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
-    split = lambda raw: [r for r in raw.split(",") if r.strip()]  # noqa: E731
     try:
-        engine = LintEngine(
-            select=split(args.select) if args.select else None,
-            ignore=split(args.ignore) if args.ignore else None,
-        )
-        violations, files_checked = engine.lint_paths(args.paths)
+        return _run_lint(args, out)
     except (LintParseError, OSError) as exc:
         print(f"fluxlint: error: {exc}", file=sys.stderr)
         return 2
     except FluxionError as exc:
         print(f"fluxlint: error: {exc}", file=sys.stderr)
         return 2
+
+
+def _run_lint(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    from .core import _expand
+
+    lint_select, flow_select = _split_select(args.select, args.flow)
+    lint_ignore, flow_ignore = _split_select(args.ignore, args.flow, "ignore")
+
+    engine = LintEngine(select=lint_select, ignore=lint_ignore)
+
+    cache = None
+    if args.cache or args.cache_dir is not None:
+        from .cache import DEFAULT_CACHE_DIR, LintCache
+
+        cache = LintCache(
+            root=args.cache_dir or DEFAULT_CACHE_DIR,
+            rule_ids=[rule_cls.rule_id for rule_cls in engine.rules],
+        )
+
+    changed: Optional[Set[str]] = None
+    if args.changed_only:
+        changed = _changed_files()
+
+    lint_targets: List[str] = list(args.paths)
+    if changed is not None:
+        lint_targets = [
+            path
+            for path in _expand(args.paths)
+            if os.path.realpath(path) in changed
+        ]
+
+    violations: List[Violation] = []
+    files_checked = 0
+    if lint_targets:
+        violations, files_checked = engine.lint_paths(
+            lint_targets, jobs=max(args.jobs, 1), cache=cache
+        )
+
+    if args.flow:
+        from .flow import FlowEngine
+
+        flow_engine = FlowEngine(select=flow_select, ignore=flow_ignore)
+        # The whole program is always built from the full path set —
+        # interprocedural facts need every module — but with --changed-only
+        # findings are reported only for the changed files.
+        flow_violations, _ = flow_engine.analyze_paths(args.paths)
+        if changed is not None:
+            flow_violations = [
+                v
+                for v in flow_violations
+                if os.path.realpath(v.path) in changed
+            ]
+        violations = sorted(set(violations) | set(flow_violations))
+
+    if args.update_baseline:
+        from .flow.baseline import save_baseline
+
+        target = args.baseline or "statcheck-baseline.json"
+        save_baseline(target, violations)
+        out(
+            f"fluxlint: baseline {target} updated with "
+            f"{len(violations)} finding(s)"
+        )
+        return 0
+
+    if args.baseline is not None:
+        from .flow.baseline import apply_baseline, load_baseline
+
+        baseline = load_baseline(args.baseline)
+        violations, stale = apply_baseline(violations, baseline)
+        if stale:
+            print(
+                f"fluxlint: warning: {stale} stale baseline entr"
+                f"{'y' if stale == 1 else 'ies'} in {args.baseline} no "
+                "longer match any finding; regenerate with --update-baseline",
+                file=sys.stderr,
+            )
+
     if args.format == "json":
-        out(render_json(violations, files_checked))
+        report = render_json(violations, files_checked)
+    elif args.format == "sarif":
+        report = render_sarif(violations, files_checked)
     else:
-        out(render_text(violations, files_checked))
+        report = render_text(violations, files_checked)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+            handle.write("\n")
+    else:
+        out(report)
     return 1 if violations else 0

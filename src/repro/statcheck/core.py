@@ -90,6 +90,9 @@ class SourceModule:
             raise LintParseError(
                 f"{path}:{exc.lineno or 0}: cannot parse: {exc.msg}"
             ) from exc
+        except ValueError as exc:
+            # e.g. "source code string cannot contain null bytes"
+            raise LintParseError(f"{path}:0: cannot parse: {exc}") from exc
         module = cls(path=path, source=source, tree=tree,
                      lines=source.splitlines())
         module._collect_directives()
@@ -214,19 +217,68 @@ class LintEngine:
                 violations.extend(rule_cls(module).run())
         return sorted(violations)
 
-    def lint_file(self, path: str) -> List[Violation]:
-        with open(path, "r", encoding="utf-8") as handle:
-            source = handle.read()
-        return self.lint_source(source, _normalize(path))
+    def lint_file(self, path: str, cache: Optional["object"] = None) -> List[Violation]:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        key = None
+        if cache is not None:
+            key = cache.key(_normalize(path), raw)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+        try:
+            source = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            # UnicodeDecodeError is a ValueError, *not* an OSError — without
+            # this it escaped the CLI's error handling as a traceback.
+            raise LintParseError(
+                f"{_normalize(path)}:0: cannot decode as UTF-8: {exc}"
+            ) from exc
+        violations = self.lint_source(source, _normalize(path))
+        if cache is not None and key is not None:
+            cache.put(key, violations)
+        return violations
 
-    def lint_paths(self, paths: Sequence[str]) -> Tuple[List[Violation], int]:
-        """Lint files and directory trees; returns (violations, files seen)."""
+    def lint_paths(
+        self,
+        paths: Sequence[str],
+        jobs: int = 1,
+        cache: Optional["object"] = None,
+    ) -> Tuple[List[Violation], int]:
+        """Lint files and directory trees; returns (violations, files seen).
+
+        ``jobs > 1`` fans the file list out over a multiprocessing pool;
+        ``cache`` is a :class:`repro.statcheck.cache.LintCache` (results are
+        keyed by content hash, so hits skip parsing entirely).
+        """
+        files = list(_expand(paths))
         violations: List[Violation] = []
-        count = 0
-        for path in _expand(paths):
-            count += 1
-            violations.extend(self.lint_file(path))
-        return sorted(violations), count
+        if jobs > 1 and len(files) > 1:
+            violations = self._lint_parallel(files, jobs, cache)
+        else:
+            for path in files:
+                violations.extend(self.lint_file(path, cache=cache))
+        return sorted(violations), len(files)
+
+    def _lint_parallel(
+        self,
+        files: Sequence[str],
+        jobs: int,
+        cache: Optional["object"],
+    ) -> List[Violation]:
+        import multiprocessing
+
+        rule_ids = [rule_cls.rule_id for rule_cls in self.rules]
+        cache_root = getattr(cache, "root", None)
+        tasks = [(path, rule_ids, cache_root) for path in files]
+        violations: List[Violation] = []
+        with multiprocessing.Pool(processes=min(jobs, len(files))) as pool:
+            for ok, payload in pool.imap_unordered(_lint_worker, tasks):
+                if not ok:
+                    pool.terminate()
+                    raise LintParseError(payload)
+                violations.extend(payload)
+        return violations
 
 
 def _normalize(path: str) -> str:
@@ -254,6 +306,29 @@ def _expand(paths: Sequence[str]) -> Iterable[str]:
             raise FluxionError(f"no such file or directory: {path}")
 
 
+#: per-process engine cache for the --jobs worker pool, keyed by rule ids
+_WORKER_ENGINES: Dict[Tuple[str, ...], "LintEngine"] = {}
+
+
+def _lint_worker(task: Tuple[str, List[str], Optional[str]]) -> Tuple[bool, "object"]:
+    """Pool worker: lint one file, returning (ok, violations-or-error)."""
+    path, rule_ids, cache_root = task
+    key = tuple(rule_ids)
+    engine = _WORKER_ENGINES.get(key)
+    if engine is None:
+        engine = LintEngine(select=rule_ids)
+        _WORKER_ENGINES[key] = engine
+    cache = None
+    if cache_root is not None:
+        from .cache import LintCache
+
+        cache = LintCache(root=cache_root, rule_ids=rule_ids)
+    try:
+        return True, engine.lint_file(path, cache=cache)
+    except (LintParseError, OSError, FluxionError) as exc:
+        return False, str(exc)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -268,6 +343,9 @@ def lint_paths(
     paths: Sequence[str],
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    jobs: int = 1,
+    cache: Optional["object"] = None,
 ) -> Tuple[List[Violation], int]:
     """Convenience wrapper: lint files/trees with a fresh engine."""
-    return LintEngine(select=select, ignore=ignore).lint_paths(paths)
+    engine = LintEngine(select=select, ignore=ignore)
+    return engine.lint_paths(paths, jobs=jobs, cache=cache)

@@ -1,0 +1,268 @@
+"""Per-function control-flow graphs built from the AST.
+
+Statement-granularity CFG covering the shapes the flow analyses need:
+``if``/``elif``/``else``, ``while``/``for`` (with ``break``/``continue``
+and loop ``else``), ``try``/``except``/``else``/``finally``, ``with``,
+``return``/``raise``, and plain statement sequences.
+
+Modelling choices (deliberate, conservative approximations):
+
+* Every statement lexically inside a ``try`` gets an *exception edge* to
+  each of the try's handler entries — any call can raise, and we do not
+  reason about exception types.  Exception edges carry the raising
+  statement's **pre**-state (its effects are assumed not to have happened).
+* ``finally`` blocks are built once, not duplicated per entry path.  Abrupt
+  exits (``return``/``break``/``continue``/uncaught exceptions) route
+  *through* the finally entry, and the finally's exits fan out to every
+  continuation that was actually requested — a standard single-instance
+  approximation that can create infeasible cross-paths but never skips the
+  finally body.
+* Functions have three pseudo-nodes: ``entry``, ``exit`` (normal
+  completion, including every ``return``) and ``exit_exc`` (exception
+  propagating out of the function).  Leak-style analyses typically only
+  report at ``exit``: an exception propagating to the caller is the
+  caller's cleanup problem (see SPAN001 in docs/static_analysis.md).
+* Nested ``def``/``lambda`` bodies are opaque single statements — their
+  bodies execute at call time, not at definition time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Set, Tuple
+
+__all__ = ["CFGNode", "CFG", "build_cfg"]
+
+
+class CFGNode:
+    """One statement (or pseudo-node) in a function's CFG."""
+
+    __slots__ = ("node_id", "stmt", "kind", "succs")
+
+    def __init__(self, node_id: int, stmt: Optional[ast.AST], kind: str) -> None:
+        self.node_id = node_id
+        self.stmt = stmt
+        #: "entry" | "exit" | "exit_exc" | "stmt" | "cond" | "join"
+        self.kind = kind
+        #: outgoing edges: (successor, is_exception_edge)
+        self.succs: List[Tuple["CFGNode", bool]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        line = getattr(self.stmt, "lineno", "-")
+        return f"<CFGNode {self.node_id} {self.kind} L{line}>"
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.nodes: List[CFGNode] = []
+        self.entry = self._new(None, "entry")
+        self.exit = self._new(None, "exit")
+        self.exit_exc = self._new(None, "exit_exc")
+
+    def _new(self, stmt: Optional[ast.AST], kind: str) -> CFGNode:
+        node = CFGNode(len(self.nodes), stmt, kind)
+        self.nodes.append(node)
+        return node
+
+
+class _FinallyFrame:
+    """A single-instance ``finally`` block plus its requested continuations."""
+
+    __slots__ = ("entry", "requests")
+
+    def __init__(self, entry: CFGNode) -> None:
+        self.entry = entry
+        self.requests: Set[int] = set()  # node ids, resolved via _by_id
+
+    def request(self, by_id: dict, node: CFGNode) -> None:
+        self.requests.add(node.node_id)
+        by_id[node.node_id] = node
+
+
+class _Builder:
+    def __init__(self, func: ast.AST) -> None:
+        self.cfg = CFG()
+        self.func = func
+        #: stack of (break_target, continue_target, frame_depth_at_loop)
+        self.loops: List[Tuple[CFGNode, CFGNode, int]] = []
+        #: innermost-last stack of active finally frames
+        self.frames: List[_FinallyFrame] = []
+        #: current exception targets (handler entries / finally / exit_exc)
+        self.exc_targets: List[CFGNode] = [self.cfg.exit_exc]
+        self._by_id: dict = {}
+
+    # -- edges ---------------------------------------------------------
+    def _edge(self, frm: CFGNode, to: CFGNode, is_exc: bool = False) -> None:
+        if (to, is_exc) not in frm.succs:
+            frm.succs.append((to, is_exc))
+
+    def _connect(self, preds: Sequence[CFGNode], to: CFGNode) -> None:
+        for pred in preds:
+            self._edge(pred, to)
+
+    def _stmt_node(self, stmt: ast.stmt) -> CFGNode:
+        node = self.cfg._new(stmt, "stmt")
+        for target in self.exc_targets:
+            if target is not self.cfg.exit_exc or len(self.exc_targets) > 1:
+                self._edge(node, target, is_exc=True)
+        return node
+
+    # -- abrupt transfers ----------------------------------------------
+    def _abrupt(
+        self, preds: Sequence[CFGNode], target: CFGNode, frame_depth: int
+    ) -> None:
+        """Route ``preds`` to ``target`` through every finally frame opened
+        since ``frame_depth`` (innermost first)."""
+        pending = self.frames[frame_depth:]
+        if not pending:
+            self._connect(preds, target)
+            return
+        route = [frame.entry for frame in reversed(pending)]
+        self._connect(preds, route[0])
+        for index, frame in enumerate(reversed(pending)):
+            nxt = route[index + 1] if index + 1 < len(route) else target
+            frame.request(self._by_id, nxt)
+
+    # -- statement sequencing ------------------------------------------
+    def seq(self, stmts: Sequence[ast.stmt], preds: List[CFGNode]) -> List[CFGNode]:
+        """Wire ``stmts`` after ``preds``; returns the normal-exit nodes."""
+        current = list(preds)
+        for stmt in stmts:
+            if not current:
+                break  # unreachable code after return/raise/break
+            current = self.one(stmt, current)
+        return current
+
+    def one(self, stmt: ast.stmt, preds: List[CFGNode]) -> List[CFGNode]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, preds)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, preds)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self._stmt_node(stmt)
+            self._connect(preds, node)
+            return self.seq(stmt.body, [node])
+        if isinstance(stmt, ast.Return):
+            node = self._stmt_node(stmt)
+            self._connect(preds, node)
+            self._abrupt([node], self.cfg.exit, 0)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._stmt_node(stmt)
+            self._connect(preds, node)
+            # A raise reaches the innermost handlers/finally (already wired
+            # as exception successors of the node); with no enclosing try it
+            # must still leave the function.
+            for target in self.exc_targets:
+                self._edge(node, target, is_exc=True)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._stmt_node(stmt)
+            self._connect(preds, node)
+            if self.loops:
+                target, _, depth = self.loops[-1]
+                self._abrupt([node], target, depth)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._stmt_node(stmt)
+            self._connect(preds, node)
+            if self.loops:
+                _, target, depth = self.loops[-1]
+                self._abrupt([node], target, depth)
+            return []
+        # Plain statement (including nested def/lambda/class: opaque).
+        node = self._stmt_node(stmt)
+        self._connect(preds, node)
+        return [node]
+
+    # -- compound statements -------------------------------------------
+    def _if(self, stmt: ast.If, preds: List[CFGNode]) -> List[CFGNode]:
+        cond = self.cfg._new(stmt, "cond")
+        for target in self.exc_targets:
+            if target is not self.cfg.exit_exc or len(self.exc_targets) > 1:
+                self._edge(cond, target, is_exc=True)
+        self._connect(preds, cond)
+        then_out = self.seq(stmt.body, [cond])
+        else_out = self.seq(stmt.orelse, [cond]) if stmt.orelse else [cond]
+        return then_out + else_out
+
+    def _loop(self, stmt: ast.stmt, preds: List[CFGNode]) -> List[CFGNode]:
+        head = self.cfg._new(stmt, "cond")
+        for target in self.exc_targets:
+            if target is not self.cfg.exit_exc or len(self.exc_targets) > 1:
+                self._edge(head, target, is_exc=True)
+        self._connect(preds, head)
+        after = self.cfg._new(None, "join")
+        self.loops.append((after, head, len(self.frames)))
+        body_out = self.seq(stmt.body, [head])
+        self.loops.pop()
+        self._connect(body_out, head)  # back edge
+        orelse = getattr(stmt, "orelse", None)
+        if orelse:
+            else_out = self.seq(orelse, [head])
+            self._connect(else_out, after)
+        else:
+            self._edge(head, after)
+        return [after]
+
+    def _try(self, stmt: ast.Try, preds: List[CFGNode]) -> List[CFGNode]:
+        has_finally = bool(stmt.finalbody)
+        handler_entries = [self.cfg._new(None, "join") for _ in stmt.handlers]
+        frame: Optional[_FinallyFrame] = None
+        after = self.cfg._new(None, "join")
+
+        if has_finally:
+            fin_entry = self.cfg._new(None, "join")
+            frame = _FinallyFrame(fin_entry)
+            self.frames.append(frame)
+
+        # Exception targets inside the try body: the handlers, plus the
+        # propagation route for exceptions no handler catches (through the
+        # finally when present, else the enclosing targets).
+        saved_targets = self.exc_targets
+        if has_finally:
+            propagate: List[CFGNode] = [frame.entry]
+            for target in saved_targets:
+                frame.request(self._by_id, target)
+        else:
+            propagate = list(saved_targets)
+        self.exc_targets = handler_entries + propagate
+        body_out = self.seq(stmt.body, list(preds))
+        if stmt.orelse:
+            body_out = self.seq(stmt.orelse, body_out)
+        self.exc_targets = saved_targets
+
+        # Handler bodies: exceptions raised inside a handler propagate
+        # outward (through the finally when present).
+        handler_targets = [frame.entry] if has_finally else list(saved_targets)
+        handler_outs: List[CFGNode] = []
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            self.exc_targets = handler_targets
+            handler_outs.extend(self.seq(handler.body, [entry]))
+            self.exc_targets = saved_targets
+
+        normal_out = body_out + handler_outs
+        if not has_finally:
+            self._connect(normal_out, after)
+            return [after]
+
+        # Build the finally once; wire every continuation it was asked for.
+        self.frames.pop()
+        self._connect(normal_out, frame.entry)
+        fin_out = self.seq(stmt.finalbody, [frame.entry])
+        self._connect(fin_out, after)
+        for node_id in frame.requests:
+            self._connect(fin_out, self._by_id[node_id])
+        return [after]
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of one ``FunctionDef``/``AsyncFunctionDef`` body."""
+    builder = _Builder(func)
+    out = builder.seq(func.body, [builder.cfg.entry])
+    builder._connect(out, builder.cfg.exit)
+    return builder.cfg

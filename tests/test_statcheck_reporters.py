@@ -1,0 +1,141 @@
+"""Golden-file tests for the fluxlint reporters (text / JSON / SARIF).
+
+The golden files under ``tests/golden/`` pin the exact bytes each reporter
+emits for a fixed violation list, so any formatting drift — field renames,
+ordering changes, indent changes — fails loudly.  Regenerate them only on a
+deliberate format change:
+
+    PYTHONPATH=src python - <<'EOF'
+    from tests.test_statcheck_reporters import regenerate
+    regenerate()
+    EOF
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.statcheck import (
+    Violation,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.statcheck.reporters import SARIF_SCHEMA_URI
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+# A fixed, representative violation list: one flow rule reported at a
+# 0-based column, one with a call chain in the message, one classic rule.
+VIOLATIONS = [
+    Violation(
+        "src/repro/planner/book.py",
+        4,
+        4,
+        "SPAN001",
+        "span handle 'sid' assigned here leaks on the fall-through path",
+    ),
+    Violation(
+        "src/repro/sched/clock.py",
+        4,
+        11,
+        "DET002",
+        "call into sample() reaches nondeterminism: sample -> raw_stamp",
+    ),
+    Violation(
+        "src/repro/sched/simulator.py",
+        88,
+        8,
+        "JRN001",
+        "state mutation before journal append",
+    ),
+]
+
+
+def _golden(name):
+    with open(os.path.join(GOLDEN_DIR, name), "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def regenerate():
+    """Rewrite every golden file from the current reporter output."""
+    outputs = {
+        "statcheck_report.txt": render_text(VIOLATIONS, files_checked=3),
+        "statcheck_report.json": render_json(VIOLATIONS, files_checked=3),
+        "statcheck_report.sarif": render_sarif(VIOLATIONS, files_checked=3),
+        "statcheck_empty.txt": render_text([], files_checked=7),
+    }
+    for name, text in outputs.items():
+        path = os.path.join(GOLDEN_DIR, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+class TestGoldenText:
+    def test_report_matches_golden(self):
+        rendered = render_text(VIOLATIONS, files_checked=3) + "\n"
+        assert rendered == _golden("statcheck_report.txt")
+
+    def test_empty_report_matches_golden(self):
+        rendered = render_text([], files_checked=7) + "\n"
+        assert rendered == _golden("statcheck_empty.txt")
+
+
+class TestGoldenJSON:
+    def test_report_matches_golden(self):
+        rendered = render_json(VIOLATIONS, files_checked=3) + "\n"
+        assert rendered == _golden("statcheck_report.json")
+
+    def test_flow_rule_summary_is_populated(self):
+        document = json.loads(render_json(VIOLATIONS, files_checked=3))
+        by_rule = {v["rule"]: v for v in document["violations"]}
+        assert by_rule["SPAN001"]["summary"]  # flow rules are in the catalogue
+        assert by_rule["JRN001"]["summary"]
+
+
+class TestGoldenSARIF:
+    def test_report_matches_golden(self):
+        rendered = render_sarif(VIOLATIONS, files_checked=3) + "\n"
+        assert rendered == _golden("statcheck_report.sarif")
+
+    def test_sarif_210_shape(self):
+        """Validate the structural pieces code-scanning uploaders require,
+        without a jsonschema dependency."""
+        document = json.loads(render_sarif(VIOLATIONS, files_checked=3))
+        assert document["$schema"] == SARIF_SCHEMA_URI
+        assert document["version"] == "2.1.0"
+        (run,) = document["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "fluxlint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+        assert len(run["results"]) == len(VIOLATIONS)
+        for result in run["results"]:
+            assert result["level"] == "error"
+            assert driver["rules"][result["ruleIndex"]]["id"] == result["ruleId"]
+            (location,) = result["locations"]
+            region = location["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+            artifact = location["physicalLocation"]["artifactLocation"]
+            assert artifact["uriBaseId"] == "SRCROOT"
+        assert run["properties"]["filesChecked"] == 3
+
+    def test_columns_are_one_based(self):
+        document = json.loads(render_sarif(VIOLATIONS, files_checked=3))
+        regions = [
+            result["locations"][0]["physicalLocation"]["region"]
+            for result in document["runs"][0]["results"]
+        ]
+        by_line = {region["startLine"]: region for region in regions}
+        # Violation col 4 -> SARIF startColumn 5, col 11 -> 12.
+        assert by_line[88]["startColumn"] == 9
+
+    def test_empty_run_is_valid(self):
+        document = json.loads(render_sarif([], files_checked=0))
+        (run,) = document["runs"]
+        assert run["results"] == []
+        assert run["tool"]["driver"]["rules"] == []
