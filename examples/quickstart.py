@@ -7,10 +7,19 @@ everything — the full life of a Fluxion-style scheduler interaction
 (paper §3.2, Fig. 1c).
 
 Run:  python examples/quickstart.py
+
+With FLUXOBS=1 the simulation section at the end runs observed and writes
+a Chrome trace (quickstart-trace.json, or $FLUXOBS_TRACE) you can open in
+chrome://tracing or feed to ``python -m repro.obs report`` — see
+docs/observability.md.
 """
+
+import os
 
 from repro import Traverser, simple_node_jobspec, nodes_jobspec, tiny_cluster
 from repro.jobspec import parse_jobspec
+from repro.obs import env_enabled
+from repro.sched import ClusterSimulator
 
 
 def main() -> None:
@@ -75,6 +84,22 @@ attributes:
     print(f"\nfreed everything; active allocations: "
           f"{len(traverser.allocations)}")
     print(f"traverser stats: {traverser.stats}")
+
+    # -- Bonus: an observed simulation ------------------------------------
+    # observe=None defers to the environment: FLUXOBS=1 turns on the
+    # metrics registry + structured tracer (docs/observability.md).
+    sim = ClusterSimulator(tiny_cluster(racks=2, nodes_per_rack=4, cores=8),
+                           queue="easy", observe=None)
+    for i in range(6):
+        sim.submit(nodes_jobspec(2 + i % 3, duration=300 + 60 * i), at=30 * i)
+    report = sim.run()
+    print(f"\nsimulated: {report.summary()}")
+    if env_enabled():
+        trace_path = os.environ.get("FLUXOBS_TRACE", "quickstart-trace.json")
+        sim.export_trace(trace_path)
+        print(f"wrote Chrome trace: {trace_path} "
+              f"({len(sim.obs.tracer.events)} events); inspect with "
+              f"`python -m repro.obs report {trace_path}`")
 
 
 if __name__ == "__main__":

@@ -30,13 +30,13 @@ from __future__ import annotations
 import argparse
 import shlex
 import sys
-import time
 from typing import List, Optional
 
 from ..errors import FluxionError
 from ..grug import build_from_recipe, build_lod, load_recipe_file, tiny_cluster
 from ..jobspec import load_jobspec_file
 from ..match import Traverser
+from ..obs import wall_now
 from ..resource import find_by_expression, load_jgf, save_jgf
 from ..sched import CapacitySchedule
 
@@ -108,21 +108,22 @@ class ResourceQuery:
             self._print(f"ERROR: unknown match verb {verb!r}")
             return
         jobspec = load_jobspec_file(path)
-        # interactive benchmarking CLI: wall-clock timing is the point
-        start = time.perf_counter()  # fluxlint: disable=DET001
+        # interactive benchmarking CLI: wall-clock timing is the point,
+        # read through the audited repro.obs.clock shim
+        start = wall_now()
         if verb == "allocate":
             alloc = self.traverser.allocate(jobspec, at=self.now)
         elif verb in ("allocate_orelse_reserve", "reserve"):
             alloc = self.traverser.allocate_orelse_reserve(jobspec, now=self.now)
         elif verb == "satisfiability":
-            elapsed = time.perf_counter() - start  # fluxlint: disable=DET001
+            elapsed = wall_now() - start
             ok = self.traverser.satisfiable(jobspec)
             self._print(f"INFO: satisfiability: {'yes' if ok else 'no'}")
             self._print(f"INFO: match time: {elapsed * 1e3:.3f} ms")
             return
         else:  # pragma: no cover - guarded above
             raise AssertionError(verb)
-        elapsed = time.perf_counter() - start  # fluxlint: disable=DET001
+        elapsed = wall_now() - start
         if alloc is None:
             self._print("INFO: no match")
         else:
@@ -236,6 +237,8 @@ class ResourceQuery:
         self._print(
             f"INFO: active allocations: {len(self.traverser.allocations)}"
         )
+        for line in self.traverser.metrics.render().splitlines():
+            self._print(f"INFO: {line}")
 
 
 def _build_graph(args) -> object:

@@ -22,19 +22,48 @@ selected paths only — the filters are never recomputed from scratch.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import functools
 
 from ..errors import AllocationNotFoundError, MatchError
 from ..jobspec import Jobspec, ResourceRequest
+from ..obs import NULL_OBSERVER, Counter, MetricsRegistry, Observer
 from ..resource import CONTAINMENT, ResourceGraph, ResourceVertex
 from ..resource.vertex import X_LIMIT
 from .policy import MatchPolicy, make_policy
 from .writer import Allocation, Selection
 
 __all__ = ["Traverser", "Candidate"]
+
+
+class _StatsView(Mapping):
+    """Deprecated read-only dict view over registry-backed counters.
+
+    Kept so pre-observability callers (``t.stats["visits"]``,
+    ``dict(t.stats)``) keep working; new code should read
+    :attr:`Traverser.metrics` instead.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, counters: Dict[str, Counter]) -> None:
+        self._counters = counters
+
+    def __getitem__(self, key: str) -> int:
+        return self._counters[key].value
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counters)
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __repr__(self) -> str:
+        return repr({key: counter.value
+                     for key, counter in self._counters.items()})
 
 
 @functools.lru_cache(maxsize=256)
@@ -119,6 +148,10 @@ class Traverser:
     max_reserve_iters:
         Safety bound on the candidate-time iteration of
         ``allocate_orelse_reserve``.
+    obs:
+        An :class:`repro.obs.Observer` for span tracing; counters always
+        collect into :attr:`metrics` regardless (they are the paper's §6
+        instrumentation and cost one attribute-add each).
     """
 
     def __init__(
@@ -128,6 +161,7 @@ class Traverser:
         prune: bool = True,
         subsystem: str = CONTAINMENT,
         max_reserve_iters: int = 100_000,
+        obs: Optional[Observer] = None,
     ) -> None:
         self.graph = graph
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
@@ -136,13 +170,47 @@ class Traverser:
         self.max_reserve_iters = max_reserve_iters
         self.allocations: Dict[int, Allocation] = {}
         self._next_alloc_id = 1
-        #: performance counters: vertices visited, matches, failed matches
-        self.stats = {"visits": 0, "matched": 0, "failed": 0, "reserve_iters": 0}
+        #: span tracing sink; replaced by ClusterSimulator(observe=...)
+        self.obs = obs if obs is not None else NULL_OBSERVER
+        #: per-traverser performance counters (always on; §6 numbers)
+        self.metrics = MetricsRegistry()
+        self._c_visits = self.metrics.counter(
+            "dfu.visits", "graph vertices visited during collection")
+        self._c_matched = self.metrics.counter(
+            "dfu.matched", "successful full matches")
+        self._c_failed = self.metrics.counter(
+            "dfu.failed", "failed match/reserve attempts")
+        self._c_reserve = self.metrics.counter(
+            "dfu.reserve_iters", "candidate times tried by reserve search")
+        self._c_filter_hits = self.metrics.counter(
+            "sdfu.filter_hits", "pruning-filter consults that cut a subtree")
+        self._c_filter_misses = self.metrics.counter(
+            "sdfu.filter_misses", "pruning-filter consults that passed")
+        self._c_sdfu_updates = self.metrics.counter(
+            "sdfu.updates", "ancestor filters updated after a booking")
+        self._stats_view = _StatsView({
+            "visits": self._c_visits,
+            "matched": self._c_matched,
+            "failed": self._c_failed,
+            "reserve_iters": self._c_reserve,
+        })
         #: observer hooks: called with the Allocation after a booking is
         #: registered / after a removal completes (used by the recovery
         #: journal; None disables).
         self.on_book = None
         self.on_remove = None
+
+    @property
+    def stats(self) -> _StatsView:
+        """Deprecated: read-only dict view of :attr:`metrics` counters."""
+        return self._stats_view
+
+    @stats.setter
+    def stats(self, values: "Mapping[str, int]") -> None:
+        # Snapshot restore (repro.recovery.snapshot) assigns a plain dict;
+        # write the values through to the backing counters.
+        for key, counter in self._stats_view._counters.items():
+            counter.value = int(values.get(key, 0))
 
     # ------------------------------------------------------------------
     # public operations
@@ -153,11 +221,12 @@ class Traverser:
         Returns the Allocation, or None when the request cannot be satisfied
         at that time.
         """
-        selections = self._match_at(at, jobspec.duration, jobspec)
-        if selections is None:
-            self.stats["failed"] += 1
-            return None
-        return self._book(selections, at, jobspec.duration, reserved=False)
+        with self.obs.tracer.span("dfu.match", "match", vt=float(at)):
+            selections = self._match_at(at, jobspec.duration, jobspec)
+            if selections is None:
+                self._c_failed.inc()
+                return None
+            return self._book(selections, at, jobspec.duration, reserved=False)
 
     def allocate_orelse_reserve(
         self, jobspec: Jobspec, now: int = 0
@@ -170,6 +239,12 @@ class Traverser:
         each candidate is verified with a full match, and the first success
         is booked.  Returns None when the request can never fit.
         """
+        with self.obs.tracer.span("dfu.reserve_search", "match", vt=float(now)):
+            return self._reserve_search(jobspec, now)
+
+    def _reserve_search(
+        self, jobspec: Jobspec, now: int
+    ) -> Optional[Allocation]:
         duration = jobspec.duration
         totals = jobspec.totals()
         # Availability only changes at scheduled points, so the earliest
@@ -191,7 +266,7 @@ class Traverser:
         ]
         candidate = now
         for _ in range(self.max_reserve_iters):
-            self.stats["reserve_iters"] += 1
+            self._c_reserve.inc()
             # Advance to the first aggregate-feasible time per every filter.
             stable = False
             while not stable:
@@ -201,13 +276,13 @@ class Traverser:
                         continue
                     t = filters.avail_time_first(tracked, duration, candidate)
                     if t is None:
-                        self.stats["failed"] += 1
+                        self._c_failed.inc()
                         return None
                     if t > candidate:
                         candidate = t
                         stable = False
             if candidate > horizon:
-                self.stats["failed"] += 1
+                self._c_failed.inc()
                 return None
             selections = self._match_at(candidate, duration, jobspec)
             if selections is not None:
@@ -233,7 +308,7 @@ class Traverser:
                 f"reservation search exceeded {self.max_reserve_iters} "
                 "candidate times"
             )
-        self.stats["failed"] += 1
+        self._c_failed.inc()
         return None
 
     def reserve(self, jobspec: Jobspec, earliest: int = 0) -> Optional[Allocation]:
@@ -326,7 +401,7 @@ class Traverser:
             None, list(jobspec.resources), at, duration, False, tentative, out
         )
         if ok:
-            self.stats["matched"] += 1
+            self._c_matched.inc()
             return out
         return None
 
@@ -528,13 +603,20 @@ class Traverser:
         stack = frontier[::-1]
         visited: set = set()
         results: List[Candidate] = []
+        tracer = self.obs.tracer
+        traced = tracer.enabled
+        if traced:
+            tracer.begin("dfu.collect", "match", rtype=rtype)
+        visits = 0
+        filter_hits = 0
+        filter_misses = 0
         while stack:
             vertex, via = stack.pop()
             uid = vertex.uniq_id
             if uid in visited:
                 continue
             visited.add(uid)
-            self.stats["visits"] += 1
+            visits += 1
             if vertex.status != "up":
                 continue  # drained vertices close their whole subtree
             if vertex.type == rtype:
@@ -556,13 +638,24 @@ class Traverser:
                         for t, n in interior_demand.items()
                         if n and filters.tracks(t)
                     }
-                    if tracked and not filters.avail_during(at, duration, tracked):
-                        continue
+                    if tracked:
+                        if not filters.avail_during(at, duration, tracked):
+                            filter_hits += 1
+                            continue
+                        filter_misses += 1
             children = graph.children_tuple(vertex, self.subsystem)
             next_via = via + (vertex,)
             for child in reversed(children):
                 if child.uniq_id not in visited:
                     stack.append((child, next_via))
+        self._c_visits.inc(visits)
+        if filter_hits:
+            self._c_filter_hits.inc(filter_hits)
+        if filter_misses:
+            self._c_filter_misses.inc(filter_misses)
+        if traced:
+            tracer.end(visits=visits, candidates=len(results),
+                       pruned=filter_hits)
         return results
 
     def _vertex_fits(
@@ -592,8 +685,11 @@ class Traverser:
         ):
             filters = vertex.prune_filters
             tracked = {t: n for t, n in demand.items() if n and filters.tracks(t)}
-            if tracked and not filters.avail_during(at, duration, tracked):
-                return False
+            if tracked:
+                if not filters.avail_during(at, duration, tracked):
+                    self._c_filter_hits.inc()
+                    return False
+                self._c_filter_misses.inc()
         return True
 
     def _book_passthrough(
@@ -730,12 +826,16 @@ class Traverser:
                     if own.tracks(rtype):
                         bucket[rtype] = bucket.get(rtype, 0) + qty
             charge(vertex, extras)
+        booked = 0
         for uid, counts in updates.items():
             counts = {t: n for t, n in counts.items() if n > 0}
             if not counts:
                 continue
             filters = self.graph.vertex(uid).prune_filters
             records.append((filters, filters.add_span(at, duration, counts)))
+            booked += 1
+        if booked:
+            self._c_sdfu_updates.inc(booked)
 
     def _exclusive_tops(self, selections: List[Selection]) -> List[Selection]:
         """Exclusive selections not nested under another exclusive selection."""

@@ -1,0 +1,57 @@
+"""The audited wall-clock shim: the only wall-clock read in ``src/repro``.
+
+Recovery replay (repro.recovery) requires scheduler *decisions* to be
+byte-identical across re-execution, which is why fluxlint's DET001 bans
+wall-clock reads on scheduler code paths.  Observability, however, is all
+about wall-clock durations — match latency, snapshot cost, cycle time.
+This module is the sanctioned bridge: every timing measurement in the tree
+goes through :func:`wall_now` / :func:`wall_timer`, wall time never feeds
+back into scheduling decisions (only into metrics, traces and
+``Job.sched_time``, all of which are excluded from state fingerprints),
+and the single DET001 suppression below is the audit point.
+
+fluxlint's OBS001 rule enforces the funnel: raw ``time.perf_counter()``
+calls anywhere else under ``src/repro`` are flagged.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+__all__ = ["wall_now", "wall_timer", "WallTimer"]
+
+
+def wall_now() -> float:
+    """Monotonic wall-clock seconds (observability only, never replayed)."""
+    return _time.perf_counter()  # fluxlint: disable=DET001
+
+
+class WallTimer:
+    """Context manager measuring wall-clock duration into ``.elapsed``.
+
+    Usable standalone or through :func:`wall_timer`::
+
+        with wall_timer() as t:
+            do_work()
+        histogram.observe(t.elapsed)
+
+    ``.elapsed`` is 0.0 until the block exits; re-entering restarts it.
+    """
+
+    __slots__ = ("start", "elapsed")
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self.start = wall_now()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = wall_now() - self.start
+
+
+def wall_timer() -> WallTimer:
+    """A fresh :class:`WallTimer` (reads nicer at call sites)."""
+    return WallTimer()

@@ -1,0 +1,161 @@
+"""Sampling-free exact profiler over tracer span events.
+
+Because the tracer records *every* span with exact wall-clock durations
+(no statistical sampling), profiling is pure aggregation:
+
+* **per-name rows** — call count, total time, self time (total minus the
+  total of direct children), mean;
+* **caller/callee edges** — how often (and for how long) span A directly
+  contained span B, the classic gprof-style table;
+* **flame summary** — total time grouped by full span *path*
+  (``sim.cycle;sched.attempt;dfu.match``), rendered as an indented ASCII
+  tree with proportional bars — a flame graph for terminals.
+
+The input is the event-dict list produced by :class:`repro.obs.trace.Tracer`
+(or re-read from a JSONL/Chrome export); ``python -m repro.obs report``
+is the CLI front-end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Profile", "aggregate"]
+
+
+class _Row:
+    __slots__ = ("name", "count", "total", "self_time")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.self_time = 0
+
+
+class Profile:
+    """Aggregated span statistics; see module docstring for the parts."""
+
+    def __init__(self) -> None:
+        self.rows: Dict[str, _Row] = {}
+        #: (caller name, callee name) -> [count, total µs]
+        self.edges: Dict[Tuple[str, str], List[int]] = {}
+        #: span path ("a;b;c") -> [count, total µs, self µs]
+        self.paths: Dict[str, List[int]] = {}
+        self.wall_total = 0
+
+    # -- construction --------------------------------------------------
+    def _add_span(
+        self, name: str, dur: int, parent_name: Optional[str], path: str
+    ) -> None:
+        row = self.rows.get(name)
+        if row is None:
+            row = _Row(name)
+            self.rows[name] = row
+        row.count += 1
+        row.total += dur
+        row.self_time += dur  # children subtracted as they arrive
+        if parent_name is None:
+            self.wall_total += dur
+        else:
+            parent_row = self.rows[parent_name]
+            parent_row.self_time -= dur
+            edge = self.edges.setdefault((parent_name, name), [0, 0])
+            edge[0] += 1
+            edge[1] += dur
+        stats = self.paths.setdefault(path, [0, 0, 0])
+        stats[0] += 1
+        stats[1] += dur
+        stats[2] += dur
+        if parent_name is not None:
+            parent_path = path.rsplit(";", 1)[0]
+            self.paths[parent_path][2] -= dur
+
+    # -- rendering -----------------------------------------------------
+    def table(self, limit: int = 30) -> str:
+        """Per-name rows plus caller/callee breakdown, worst-first."""
+        lines = [
+            f"{'total ms':>10} {'self ms':>10} {'calls':>8}  name",
+        ]
+        ordered = sorted(
+            self.rows.values(), key=lambda row: row.total, reverse=True
+        )
+        for row in ordered[:limit]:
+            lines.append(
+                f"{row.total / 1000:>10.3f} {row.self_time / 1000:>10.3f} "
+                f"{row.count:>8}  {row.name}"
+            )
+            callers = sorted(
+                (
+                    (caller, edge)
+                    for (caller, callee), edge in self.edges.items()
+                    if callee == row.name
+                ),
+                key=lambda item: item[1][1],
+                reverse=True,
+            )
+            for caller, (count, total) in callers:
+                lines.append(
+                    f"{'':>10} {'':>10} {'':>8}    <- {caller} "
+                    f"(x{count}, {total / 1000:.3f} ms)"
+                )
+            callees = sorted(
+                (
+                    (callee, edge)
+                    for (caller, callee), edge in self.edges.items()
+                    if caller == row.name
+                ),
+                key=lambda item: item[1][1],
+                reverse=True,
+            )
+            for callee, (count, total) in callees:
+                lines.append(
+                    f"{'':>10} {'':>10} {'':>8}    -> {callee} "
+                    f"(x{count}, {total / 1000:.3f} ms)"
+                )
+        return "\n".join(lines)
+
+    def flame(self, width: int = 60) -> str:
+        """Indented ASCII flame summary: one line per span path."""
+        if not self.paths:
+            return "(no spans)"
+        scale = max(self.wall_total, 1)
+        lines = []
+        for path in sorted(self.paths):
+            count, total, _self = self.paths[path]
+            depth = path.count(";")
+            name = path.rsplit(";", 1)[-1]
+            bar = "#" * max(1, int(width * total / scale))
+            lines.append(
+                f"{total / 1000:>10.3f} ms {'  ' * depth}{name} "
+                f"(x{count}) {bar}"
+            )
+        return "\n".join(lines)
+
+
+def aggregate(events: List[Dict[str, Any]]) -> Profile:
+    """Build a :class:`Profile` from tracer events (native or re-parsed).
+
+    Only complete spans (``ph == "X"``) contribute; instants and counter
+    samples are skipped.  Events must be in ``seq`` (begin) order, which
+    both the tracer and :func:`repro.obs.trace.read_jsonl` guarantee —
+    parents therefore always precede their children.
+    """
+    profile = Profile()
+    names: Dict[int, str] = {}
+    paths: Dict[int, str] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        name = event["name"]
+        span_id = event["id"]
+        parent_id = event.get("parent")
+        parent_name = names.get(parent_id) if parent_id is not None else None
+        if parent_name is not None:
+            path = f"{paths[parent_id]};{name}"
+        else:
+            path = name
+        names[span_id] = name
+        paths[span_id] = path
+        profile._add_span(name, int(event.get("dur", 0)), parent_name, path)
+    return profile

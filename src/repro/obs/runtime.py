@@ -1,0 +1,90 @@
+"""Process-global active observer.
+
+Planner objects are owned by resource vertices, not by the simulator, so
+threading an observer handle down to every ``Planner.avail_time_first``
+call would contaminate a dozen signatures.  Instead the simulator
+activates its observer here for the duration of a run, and planner-layer
+instrumentation reads :data:`ACTIVE` — one module-attribute load on the
+hot path, and the default :data:`~repro.obs.NULL_OBSERVER` makes every
+downstream call a no-op.
+
+Nested activation is not supported (last activation wins); simulators
+restore the previous observer on ``deactivate`` so interleaved runs in
+one process stay correct as long as their lifetimes nest.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from .metrics import NULL_REGISTRY, NullRegistry, MetricsRegistry  # noqa: F401
+from .trace import NULL_TRACER, NullTracer, Tracer  # noqa: F401
+
+__all__ = ["Observer", "NULL_OBSERVER", "ACTIVE", "activate", "deactivate",
+           "active", "env_enabled", "resolve"]
+
+
+class Observer:
+    """A metrics registry + tracer pair with one ``enabled`` switch."""
+
+    __slots__ = ("enabled", "metrics", "tracer")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        metrics: "MetricsRegistry | NullRegistry | None" = None,
+        tracer: "Tracer | NullTracer | None" = None,
+    ) -> None:
+        self.enabled = enabled
+        if enabled:
+            self.metrics = metrics if metrics is not None else MetricsRegistry()
+            self.tracer = tracer if tracer is not None else Tracer()
+        else:
+            self.metrics = NULL_REGISTRY
+            self.tracer = NULL_TRACER
+
+
+NULL_OBSERVER = Observer(enabled=False)
+
+#: The currently active observer; read directly on hot paths.
+ACTIVE: Observer = NULL_OBSERVER
+
+_PREVIOUS: List[Observer] = []
+
+
+def activate(observer: Observer) -> None:
+    """Make ``observer`` the process-global active observer."""
+    global ACTIVE
+    _PREVIOUS.append(ACTIVE)
+    ACTIVE = observer
+
+
+def deactivate() -> None:
+    """Restore the observer that was active before the last activate()."""
+    global ACTIVE
+    ACTIVE = _PREVIOUS.pop() if _PREVIOUS else NULL_OBSERVER
+
+
+def active() -> Observer:
+    """The currently active observer (NULL_OBSERVER when none)."""
+    return ACTIVE
+
+
+def env_enabled() -> bool:
+    """Whether ``FLUXOBS`` requests observability (same idiom as FLUXSAN)."""
+    return os.environ.get("FLUXOBS", "") not in ("", "0")
+
+
+def resolve(observe: "Observer | bool | None") -> Observer:
+    """Normalize a user-facing ``observe=`` argument to an Observer.
+
+    ``None`` defers to the ``FLUXOBS`` environment variable; ``True``
+    builds a fresh enabled observer; ``False`` gives the null one; an
+    :class:`Observer` instance passes through (shared registries allowed).
+    """
+    if isinstance(observe, Observer):
+        return observe
+    if observe is None:
+        observe = env_enabled()
+    return Observer(enabled=True) if observe else NULL_OBSERVER

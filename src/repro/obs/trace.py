@@ -1,0 +1,356 @@
+"""Structured tracer: nested spans with virtual-time + wall-clock axes.
+
+Every span carries two clocks:
+
+* ``vt`` — the simulator's **virtual time** at which the span began.  This
+  is deterministic: two seeded runs of the same workload produce the same
+  sequence of ``(name, vt)`` pairs (tested in ``tests/test_obs.py``).
+* ``ts`` / ``dur`` — **wall-clock** microseconds relative to tracer
+  creation, via the audited :mod:`repro.obs.clock` shim.  These vary run
+  to run and exist for profiling, never for replay.
+
+Spans nest by a per-tracer stack: ``begin``/``end`` pair up LIFO, and each
+event records its parent span id and depth, so exports can rebuild the
+tree (simulator cycle → queue policy → per-job match → DFU collect →
+planner query).
+
+Exports:
+
+* :meth:`Tracer.to_chrome` — Chrome ``trace_event`` JSON (open in
+  ``chrome://tracing`` or Perfetto).  Spans are complete events
+  (``ph: "X"``), instants ``ph: "i"``, counter samples ``ph: "C"``.
+* :meth:`Tracer.write_jsonl` — one JSON object per line, the stable
+  machine-readable log that ``python -m repro.obs report`` consumes.
+
+:data:`NULL_TRACER` is the disabled implementation: every method is a
+no-op so instrumented code pays one attribute lookup and a call.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterator, List, Optional, Tuple
+
+from .clock import wall_now
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "read_jsonl",
+    "span_tree",
+]
+
+
+class _SpanHandle:
+    """Context manager returned by :meth:`Tracer.span`; ends the span."""
+
+    __slots__ = ("_tracer", "event")
+
+    def __init__(self, tracer: "Tracer", event: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.event = event
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer.end()
+
+
+class Tracer:
+    """Collects span/instant/counter events in begin order.
+
+    Events are plain dicts so export is a ``json.dumps`` away:
+
+    ``{"ph": "X", "name", "cat", "id", "parent", "depth", "seq",
+    "ts", "dur", "vt", "args"}``
+
+    ``ts``/``dur`` are integer microseconds; ``vt`` is whatever virtual
+    time the caller passed (``None`` for spans outside the simulation
+    clock, e.g. CLI match commands).
+    """
+
+    __slots__ = ("enabled", "events", "_origin", "_stack", "_next_id")
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self.events: List[Dict[str, Any]] = []
+        self._origin = wall_now()
+        self._stack: List[Dict[str, Any]] = []
+        self._next_id = 0
+
+    # -- spans ---------------------------------------------------------
+    def begin(
+        self,
+        name: str,
+        cat: str = "",
+        vt: Optional[float] = None,
+        **args: Any,
+    ) -> Dict[str, Any]:
+        """Open a span; returns its (mutable, still-running) event dict."""
+        now = wall_now()
+        parent = self._stack[-1] if self._stack else None
+        event: Dict[str, Any] = {
+            "ph": "X",
+            "name": name,
+            "cat": cat,
+            "id": self._next_id,
+            "parent": parent["id"] if parent is not None else None,
+            "depth": len(self._stack),
+            "seq": len(self.events),
+            "ts": int((now - self._origin) * 1e6),
+            "dur": 0,
+            "vt": vt,
+            "args": args,
+        }
+        self._next_id += 1
+        self.events.append(event)
+        self._stack.append(event)
+        return event
+
+    def end(self, **args: Any) -> None:
+        """Close the innermost open span, fixing its wall-clock duration."""
+        if not self._stack:
+            raise RuntimeError("Tracer.end() with no open span")
+        event = self._stack.pop()
+        elapsed = int((wall_now() - self._origin) * 1e6) - event["ts"]
+        event["dur"] = elapsed if elapsed > 0 else 0
+        if args:
+            event["args"].update(args)
+
+    def span(
+        self,
+        name: str,
+        cat: str = "",
+        vt: Optional[float] = None,
+        **args: Any,
+    ) -> _SpanHandle:
+        """``with tracer.span("sim.cycle", vt=now): ...`` convenience."""
+        return _SpanHandle(self, self.begin(name, cat, vt, **args))
+
+    # -- point events --------------------------------------------------
+    def instant(
+        self,
+        name: str,
+        cat: str = "",
+        vt: Optional[float] = None,
+        **args: Any,
+    ) -> None:
+        """A zero-duration marker (job arrival, fault injection, ...)."""
+        parent = self._stack[-1] if self._stack else None
+        self.events.append({
+            "ph": "i",
+            "name": name,
+            "cat": cat,
+            "id": self._next_id,
+            "parent": parent["id"] if parent is not None else None,
+            "depth": len(self._stack),
+            "seq": len(self.events),
+            "ts": int((wall_now() - self._origin) * 1e6),
+            "dur": 0,
+            "vt": vt,
+            "args": args,
+        })
+        self._next_id += 1
+
+    def sample(
+        self,
+        name: str,
+        values: Dict[str, float],
+        vt: Optional[float] = None,
+    ) -> None:
+        """A counter-track sample (queue depth over time, SDFU hit rate)."""
+        self.events.append({
+            "ph": "C",
+            "name": name,
+            "cat": "counter",
+            "id": self._next_id,
+            "parent": None,
+            "depth": 0,
+            "seq": len(self.events),
+            "ts": int((wall_now() - self._origin) * 1e6),
+            "dur": 0,
+            "vt": vt,
+            "args": dict(values),
+        })
+        self._next_id += 1
+
+    # -- introspection / export ----------------------------------------
+    def open_spans(self) -> int:
+        """Number of spans begun but not yet ended (0 after a clean run)."""
+        return len(self._stack)
+
+    def virtual_sequence(self) -> List[Tuple[str, Optional[float]]]:
+        """Deterministic fingerprint: ``(name, vt)`` for spans/instants in
+        begin order.  Wall-clock fields are excluded on purpose."""
+        return [
+            (event["name"], event["vt"])
+            for event in self.events
+            if event["ph"] in ("X", "i")
+        ]
+
+    def to_chrome(
+        self, other_data: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Chrome ``trace_event`` JSON object (serialize with json.dump)."""
+        trace_events: List[Dict[str, Any]] = []
+        for event in self.events:
+            args = dict(event["args"])
+            if event["vt"] is not None:
+                args["vt"] = event["vt"]
+            chrome: Dict[str, Any] = {
+                "name": event["name"],
+                "cat": event["cat"] or "repro",
+                "ph": event["ph"],
+                "ts": event["ts"],
+                "pid": 0,
+                "tid": 0,
+                "args": args,
+            }
+            if event["ph"] == "X":
+                chrome["dur"] = event["dur"]
+            elif event["ph"] == "i":
+                chrome["s"] = "t"
+            trace_events.append(chrome)
+        return {
+            "traceEvents": trace_events,
+            "otherData": dict(other_data or {}),
+        }
+
+    def write_chrome(
+        self, path: str, other_data: Optional[Dict[str, Any]] = None
+    ) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome(other_data), handle)
+
+    def write_jsonl(self, path_or_file: "str | IO[str]") -> None:
+        """One event per line, native schema (id/parent/depth/vt intact)."""
+        if isinstance(path_or_file, str):
+            with open(path_or_file, "w", encoding="utf-8") as handle:
+                self._dump_lines(handle)
+        else:
+            self._dump_lines(path_or_file)
+
+    def _dump_lines(self, handle: IO[str]) -> None:
+        for event in self.events:
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+
+
+class NullTracer:
+    """Disabled tracer: records nothing, allocates nothing."""
+
+    __slots__ = ()
+    enabled = False
+    events: List[Dict[str, Any]] = []
+
+    _HANDLE: "_NullHandle"
+
+    def begin(
+        self,
+        name: str,
+        cat: str = "",
+        vt: Optional[float] = None,
+        **args: Any,
+    ) -> Dict[str, Any]:
+        return _NULL_EVENT
+
+    def end(self, **args: Any) -> None:
+        pass
+
+    def span(
+        self,
+        name: str,
+        cat: str = "",
+        vt: Optional[float] = None,
+        **args: Any,
+    ) -> "_NullHandle":
+        return _NULL_HANDLE
+
+    def instant(
+        self,
+        name: str,
+        cat: str = "",
+        vt: Optional[float] = None,
+        **args: Any,
+    ) -> None:
+        pass
+
+    def sample(
+        self,
+        name: str,
+        values: Dict[str, float],
+        vt: Optional[float] = None,
+    ) -> None:
+        pass
+
+    def open_spans(self) -> int:
+        return 0
+
+    def virtual_sequence(self) -> List[Tuple[str, Optional[float]]]:
+        return []
+
+    def to_chrome(
+        self, other_data: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        return {"traceEvents": [], "otherData": dict(other_data or {})}
+
+
+class _NullHandle:
+    __slots__ = ()
+    event: Dict[str, Any] = {}
+
+    def __enter__(self) -> "_NullHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_HANDLE = _NullHandle()
+_NULL_EVENT: Dict[str, Any] = {}
+NULL_TRACER = NullTracer()
+
+
+# ----------------------------------------------------------------------
+# parsing / reconstruction (used by the report CLI and round-trip tests)
+# ----------------------------------------------------------------------
+def read_jsonl(path_or_file: "str | IO[str]") -> List[Dict[str, Any]]:
+    """Parse a line-JSON event log back into event dicts (seq order)."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "r", encoding="utf-8") as handle:
+            events = [json.loads(line) for line in handle if line.strip()]
+    else:
+        events = [
+            json.loads(line) for line in path_or_file if line.strip()
+        ]
+    events.sort(key=lambda event: event.get("seq", 0))
+    return events
+
+
+def span_tree(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Rebuild the span forest from flat events via parent links.
+
+    Returns root nodes ``{"name", "vt", "id", "children": [...]}`` —
+    the deterministic skeleton used by the round-trip test (wall-clock
+    fields deliberately dropped).
+    """
+    nodes: Dict[int, Dict[str, Any]] = {}
+    roots: List[Dict[str, Any]] = []
+    for event in events:
+        if event["ph"] not in ("X", "i"):
+            continue
+        node = {
+            "name": event["name"],
+            "vt": event.get("vt"),
+            "id": event["id"],
+            "children": [],
+        }
+        nodes[event["id"]] = node
+        parent_id = event.get("parent")
+        if parent_id is not None and parent_id in nodes:
+            nodes[parent_id]["children"].append(node)
+        else:
+            roots.append(node)
+    return roots

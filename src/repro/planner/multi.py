@@ -13,9 +13,13 @@ from __future__ import annotations
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from ..errors import PlannerError, SpanNotFoundError
+from ..obs import runtime as _obs_runtime
 from .planner import Planner
 
 __all__ = ["PlannerMulti"]
+
+#: restart-count buckets for the ``planner.restart_iters`` histogram
+_RESTART_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 
 
 class PlannerMulti:
@@ -139,25 +143,54 @@ class PlannerMulti:
         so the loop terminates (it is bounded by the number of scheduled
         points across the bundle).
         """
+        obs = _obs_runtime.ACTIVE
+        if not obs.enabled:
+            return self._avail_search(counts, duration, on_or_after)[0]
+        with obs.tracer.span(
+            "planner.avail_time_first", "planner", vt=float(on_or_after),
+            types=len(counts),
+        ) as handle:
+            result, restarts = self._avail_search(counts, duration, on_or_after)
+            handle.event["args"]["restarts"] = restarts
+            handle.event["args"]["found"] = result is not None
+        obs.metrics.counter(
+            "planner.multi_queries", "PlannerMultiAvailTimeFirst calls"
+        ).inc()
+        obs.metrics.histogram(
+            "planner.restart_iters",
+            "candidate-time restarts per multi query",
+            boundaries=_RESTART_BUCKETS,
+        ).observe(restarts)
+        return result
+
+    def _avail_search(
+        self,
+        counts: Mapping[str, int],
+        duration: int,
+        on_or_after: int,
+    ) -> "Tuple[Optional[int], int]":
+        """The restart loop; returns (earliest time or None, restart count)."""
         relevant = [
             (rtype, count)
             for rtype, count in counts.items()
             if rtype in self._planners and count
         ]
         at = max(on_or_after, self.plan_start)
+        restarts = 0
         if not relevant:
-            return at if at + duration <= self.plan_end else None
+            return (at if at + duration <= self.plan_end else None), restarts
         while True:
             moved = False
             for rtype, count in relevant:
                 t = self._planners[rtype].avail_time_first(count, duration, at)
                 if t is None:
-                    return None
+                    return None, restarts
                 if t > at:
                     at = t
                     moved = True
             if not moved:
-                return at
+                return at, restarts
+            restarts += 1
 
     # ------------------------------------------------------------------
     # span mutation

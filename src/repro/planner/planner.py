@@ -20,10 +20,14 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional
 
 from ..errors import PlannerError, SpanNotFoundError
+from ..obs import runtime as _obs_runtime
 from .span import ScheduledPoint, Span
 from .trees import ETTree, SPTree
 
 __all__ = ["Planner"]
+
+#: ET-tree stash-size buckets for the ``planner.stash_points`` histogram
+_STASH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 class Planner:
@@ -193,6 +197,11 @@ class Planner:
         SPANOK check are stashed out of the ET tree and the search repeats,
         then the stash is restored.
         """
+        obs = _obs_runtime.ACTIVE
+        if obs.enabled:
+            obs.metrics.counter(
+                "planner.queries", "single-type avail_time_first calls"
+            ).inc()
         if request > self.total:
             return None
         at = max(on_or_after, self.plan_start)
@@ -223,6 +232,12 @@ class Planner:
         finally:
             for point in stash:
                 self._et.insert(point)
+        if obs.enabled:
+            obs.metrics.histogram(
+                "planner.stash_points",
+                "ET-tree points stashed per AVAILAT search",
+                boundaries=_STASH_BUCKETS,
+            ).observe(len(stash))
         return result
 
     # ------------------------------------------------------------------

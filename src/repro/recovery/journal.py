@@ -132,6 +132,8 @@ class Journal:
         self.path = path
         self.fsync = fsync
         self._seq = start_seq
+        #: framed bytes written through this writer (observability)
+        self.bytes_written = 0
         self._handle = open(path, "ab")
 
     @property
@@ -144,7 +146,9 @@ class Journal:
         if self._handle is None:
             raise JournalError("journal is closed")
         self._seq += 1
-        self._handle.write(frame_record(self._seq, record))
+        frame = frame_record(self._seq, record)
+        self._handle.write(frame)
+        self.bytes_written += len(frame)
         self._handle.flush()
         if self.fsync:
             os.fsync(self._handle.fileno())

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional
 
 from ..errors import RecoveryError, SnapshotError
 from ..jobspec import parse_jobspec
+from ..obs import WallTimer
 from ..sched.job import CancelReason
 from ..sched.simulator import _FAIL, _REPAIR, ClusterSimulator
 from .journal import Journal, read_journal
@@ -154,8 +155,17 @@ class RecoveryManager:
         """Append one record to the journal (called by the simulator)."""
         if self._journal is None:
             raise RecoveryError("manager is not attached")
+        before = self._journal.bytes_written
         seq = self._journal.append(record)
         self.sim.recovery_stats["journal_records"] += 1
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "journal.records", "write-ahead journal records appended"
+            ).inc()
+            obs.metrics.counter(
+                "journal.bytes", "framed journal bytes written"
+            ).inc(self._journal.bytes_written - before)
         return seq
 
     def after_event(self, sim: ClusterSimulator) -> None:
@@ -174,12 +184,24 @@ class RecoveryManager:
             raise RecoveryError("manager is not attached")
         self.sim.recovery_stats["snapshots_taken"] += 1
         seq = self._journal.last_seq
-        doc = snapshot_state(self.sim, seq=seq)
-        path = _snapshot_path(self.directory, seq)
-        write_snapshot(doc, path)
+        with WallTimer() as timer:
+            doc = snapshot_state(self.sim, seq=seq)
+            path = _snapshot_path(self.directory, seq)
+            write_snapshot(doc, path)
         self._last_snapshot_seq = seq
         for old in _snapshot_files(self.directory)[self.keep_snapshots :]:
             os.unlink(old)
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "snapshot.count", "snapshots written"
+            ).inc()
+            obs.metrics.histogram(
+                "snapshot.seconds", "wall time to serialize and write a snapshot"
+            ).observe(timer.elapsed)
+            obs.tracer.instant(
+                "recovery.snapshot", "recovery", vt=float(self.sim.now), seq=seq
+            )
         return path
 
     def close(self) -> None:
@@ -208,6 +230,10 @@ def _replay_dispatch(sim: ClusterSimulator, record: Dict[str, Any]) -> None:
     ref_name = sim.graph.vertex(ref).name if kind in (_FAIL, _REPAIR) else ref
     expected = (record["when"], record["kind"], record["ref"], record["data"])
     if (when, kind, ref_name, data) != expected:
+        if sim.obs.enabled:
+            sim.obs.metrics.counter(
+                "replay.divergences", "replayed dispatches not matching journal"
+            ).inc()
         raise RecoveryError(
             f"journal record {record['seq']}: replay divergence — heap top "
             f"{(when, kind, ref_name, data)!r} != journaled {expected!r}"
@@ -228,10 +254,15 @@ def _replay(sim: ClusterSimulator, records: List[Dict[str, Any]]) -> None:
     originally produced them.
     """
     by_name = {v.name: v for v in sim.graph.vertices()}
+    observed = sim.obs.enabled
     sim._replaying = True
     try:
         for record in records:
             sim.recovery_stats["journal_replayed"] += 1
+            if observed:
+                sim.obs.metrics.counter(
+                    "replay.records", "journal records consumed during replay"
+                ).inc()
             rtype = record["type"]
             if record.get("internal") or rtype in ("alloc", "alloc_rm"):
                 continue

@@ -16,11 +16,11 @@ reservation: the match itself refuses conflicting windows.
 
 from __future__ import annotations
 
-import time as _time
 from typing import Dict, List, Optional
 
 from ..errors import SchedulerError
 from ..match import Traverser
+from ..obs import NULL_OBSERVER, Observer, WallTimer
 from .job import Job, JobState
 
 __all__ = [
@@ -33,10 +33,53 @@ __all__ = [
 ]
 
 
+class _SchedAttempt:
+    """Times one full scheduling attempt for one job.
+
+    Everything inside the ``with`` block — match/reserve verbs, reservation
+    cancels during re-planning, state transitions — is charged to
+    ``job.sched_time`` (wall-clock observability only; excluded from state
+    fingerprints so it cannot break replay determinism).  When an observer
+    is enabled the attempt also lands in the ``sched.attempt_seconds``
+    histogram and opens a ``sched.attempt`` tracer span.
+    """
+
+    __slots__ = ("_obs", "_job", "_now", "_verb", "_timer")
+
+    def __init__(self, obs: Observer, job: Job, now: int, verb: str) -> None:
+        self._obs = obs
+        self._job = job
+        self._now = now
+        self._verb = verb
+        self._timer = WallTimer()
+
+    def __enter__(self) -> "_SchedAttempt":
+        if self._obs.enabled:
+            self._obs.tracer.begin(
+                "sched.attempt", "sched", vt=float(self._now),
+                job=self._job.job_id, verb=self._verb,
+            )
+        self._timer.__enter__()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._timer.__exit__()
+        self._job.sched_time += self._timer.elapsed
+        if self._obs.enabled:
+            self._obs.metrics.histogram(
+                "sched.attempt_seconds",
+                "wall time per full scheduling attempt",
+            ).observe(self._timer.elapsed)
+            self._obs.tracer.end()
+
+
 class QueuePolicy:
     """Base queue policy; subclasses implement :meth:`cycle`."""
 
     name = "base"
+    #: observability sink; ``ClusterSimulator(observe=...)`` replaces this
+    #: per instance (class default keeps standalone policies zero-cost).
+    obs: Observer = NULL_OBSERVER
 
     def cycle(self, pending: List[Job], traverser: Traverser, now: int) -> None:
         """Try to place pending jobs (in submit order) at time ``now``.
@@ -46,14 +89,20 @@ class QueuePolicy:
         """
         raise NotImplementedError
 
+    def _attempt(self, job: Job, now: int, verb: str) -> _SchedAttempt:
+        """Scope one job's full scheduling attempt (see _SchedAttempt)."""
+        return _SchedAttempt(self.obs, job, now, verb)
+
     @staticmethod
     def _timed_match(job: Job, call, *args, **kwargs):
-        """Run a traverser verb, accumulating wall time into job.sched_time."""
-        # sched_time is wall-clock observability only; it is excluded from
-        # state fingerprints so it cannot break replay determinism.
-        t0 = _time.perf_counter()  # fluxlint: disable=DET001
-        result = call(*args, **kwargs)
-        job.sched_time += _time.perf_counter() - t0  # fluxlint: disable=DET001
+        """Deprecated: time a single traverser verb into job.sched_time.
+
+        Kept for API compatibility; :meth:`_attempt` supersedes it because
+        it scopes the *whole* attempt (reservation cancels included).
+        """
+        with WallTimer() as timer:
+            result = call(*args, **kwargs)
+        job.sched_time += timer.elapsed
         return result
 
     @staticmethod
@@ -79,12 +128,12 @@ class FCFSQueue(QueuePolicy):
         for job in pending:
             if job.state is not JobState.PENDING:
                 continue
-            alloc = self._timed_match(
-                job, traverser.allocate, job.jobspec, at=now
-            )
+            with self._attempt(job, now, "allocate"):
+                alloc = traverser.allocate(job.jobspec, at=now)
+                if alloc is not None:
+                    self._attach(job, alloc, now)
             if alloc is None:
                 break  # head of queue blocks everyone behind it
-            self._attach(job, alloc, now)
 
 
 class EasyBackfill(QueuePolicy):
@@ -107,27 +156,31 @@ class EasyBackfill(QueuePolicy):
         for job_id, (job, alloc_id) in list(self._head_reservation.items()):
             del self._head_reservation[job_id]
             if job.state is JobState.RESERVED and alloc_id in traverser.allocations:
-                traverser.remove(alloc_id)
-                job.transition(JobState.PENDING)
-                job.allocations.clear()
+                # Re-planning work is scheduling cost too: charge the cancel
+                # to the job whose reservation is being re-made.
+                with self._attempt(job, now, "replan_cancel"):
+                    traverser.remove(alloc_id)
+                    job.transition(JobState.PENDING)
+                    job.allocations.clear()
         head_blocked = False
         for job in pending:
             if not head_blocked:
-                alloc = self._timed_match(
-                    job, traverser.allocate_orelse_reserve, job.jobspec, now=now
-                )
+                with self._attempt(job, now, "allocate_orelse_reserve"):
+                    alloc = traverser.allocate_orelse_reserve(
+                        job.jobspec, now=now
+                    )
+                    if alloc is not None:
+                        self._attach(job, alloc, now)
                 if alloc is None:
                     continue  # never satisfiable; skip (stays pending)
-                self._attach(job, alloc, now)
                 if alloc.reserved:
                     head_blocked = True
                     self._head_reservation[job.job_id] = (job, alloc.alloc_id)
             else:
-                alloc = self._timed_match(
-                    job, traverser.allocate, job.jobspec, at=now
-                )
-                if alloc is not None:
-                    self._attach(job, alloc, now)
+                with self._attempt(job, now, "backfill"):
+                    alloc = traverser.allocate(job.jobspec, at=now)
+                    if alloc is not None:
+                        self._attach(job, alloc, now)
 
     def export_state(self) -> dict:
         return {
@@ -170,17 +223,19 @@ class ConservativeBackfill(QueuePolicy):
                 continue
             if self.depth is not None and reserved >= self.depth:
                 # Depth reached: only start-now placements beyond this point.
-                alloc = self._timed_match(
-                    job, traverser.allocate, job.jobspec, at=now
-                )
+                with self._attempt(job, now, "allocate"):
+                    alloc = traverser.allocate(job.jobspec, at=now)
+                    if alloc is not None:
+                        self._attach(job, alloc, now)
             else:
-                alloc = self._timed_match(
-                    job, traverser.allocate_orelse_reserve, job.jobspec, now=now
-                )
-            if alloc is not None:
-                self._attach(job, alloc, now)
-                if alloc.reserved:
-                    reserved += 1
+                with self._attempt(job, now, "allocate_orelse_reserve"):
+                    alloc = traverser.allocate_orelse_reserve(
+                        job.jobspec, now=now
+                    )
+                    if alloc is not None:
+                        self._attach(job, alloc, now)
+            if alloc is not None and alloc.reserved:
+                reserved += 1
 
     def export_state(self) -> dict:
         return {"depth": self.depth}

@@ -34,6 +34,8 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import SchedulerError
 from ..jobspec import Jobspec
 from ..match import MatchPolicy, Traverser
+from ..obs import Observer, resolve as _resolve_observer
+from ..obs import runtime as _obs_runtime
 from ..resource import ResourceGraph, ResourceVertex
 from .job import CancelReason, Job, JobState
 from .queue import QueuePolicy, make_queue_policy
@@ -75,6 +77,10 @@ class SimulationReport:
     torn_records_dropped: int = 0
     #: times this simulator state was restored from snapshot+journal
     recoveries: int = 0
+    # -- observability (repro.obs) --------------------------------------
+    #: metrics snapshot (observer + traverser registries) when the run was
+    #: observed (ClusterSimulator(observe=...) / FLUXOBS=1), else None
+    metrics: "Optional[Dict[str, object]]" = None
 
     @property
     def completed(self) -> List[Job]:
@@ -152,6 +158,21 @@ class SimulationReport:
                 f"({self.journal_replayed} replayed, "
                 f"{self.torn_records_dropped} torn dropped)"
             )
+        if self.metrics:
+            visits = self.metrics.get("dfu.visits", 0)
+            matched = self.metrics.get("dfu.matched", 0)
+            hits = self.metrics.get("sdfu.filter_hits", 0)
+            misses = self.metrics.get("sdfu.filter_misses", 0)
+            consults = hits + misses
+            attempts = self.metrics.get("sched.attempt_seconds")
+            attempt_count = (
+                attempts.get("count", 0) if isinstance(attempts, dict) else 0
+            )
+            text += (
+                f"; obs: {self.metrics.get('sim.cycles', 0)} cycles, "
+                f"{attempt_count} sched attempts, {visits} visits, "
+                f"{matched} matched, sdfu prune hits {hits}/{consults}"
+            )
         return text
 
 
@@ -183,6 +204,13 @@ class ClusterSimulator:
         this simulator's lifetime (span double-free, exclusive-overlap and
         SDFU-divergence checks).  Also enabled globally by setting the
         ``FLUXSAN=1`` environment variable.
+    observe:
+        Observability (:mod:`repro.obs`): ``True`` (or ``FLUXOBS=1`` in the
+        environment) records metrics and structured trace spans for the
+        whole run; an :class:`~repro.obs.Observer` instance shares sinks
+        across simulators.  Off by default; the disabled path costs only
+        no-op calls.  See :meth:`export_trace` and
+        :attr:`SimulationReport.metrics`.
     """
 
     def __init__(
@@ -194,12 +222,17 @@ class ClusterSimulator:
         retry_policy: "Optional[RetryPolicy]" = None,
         audit: bool = False,
         sanitize: bool = False,
+        observe: "Observer | bool | None" = None,
     ) -> None:
         self.graph = graph
-        self.traverser = Traverser(graph, policy=match_policy, prune=prune)
+        self.obs = _resolve_observer(observe)
+        self.traverser = Traverser(
+            graph, policy=match_policy, prune=prune, obs=self.obs
+        )
         self.queue_policy = (
             make_queue_policy(queue) if isinstance(queue, str) else queue
         )
+        self.queue_policy.obs = self.obs
         self.jobs: Dict[int, Job] = {}
         self.now = graph.plan_start
         self._events: List[tuple] = []  # (time, kind, seq, ref, data)
@@ -436,9 +469,18 @@ class ClusterSimulator:
         )
         heapq.heappop(self._events)
         self._applying += 1
+        observed = self.obs.enabled
+        if observed:
+            # After the journal write on purpose: tracing is observability,
+            # never part of the write-ahead command stream.
+            self.obs.tracer.begin(
+                "sim.dispatch", "sim", vt=float(when), kind=kind
+            )
         try:
             self._dispatch(when, kind, ref, data)
         finally:
+            if observed:
+                self.obs.tracer.end()
             self._applying -= 1
         if self.recovery is not None and not self._replaying:
             self.recovery.after_event(self)
@@ -474,7 +516,35 @@ class ClusterSimulator:
             journal_replayed=self.recovery_stats["journal_replayed"],
             torn_records_dropped=self.recovery_stats["torn_records_dropped"],
             recoveries=self.recovery_stats["recoveries"],
+            metrics=self.metrics_snapshot() if self.obs.enabled else None,
         )
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Observer + traverser registries as one JSON-able dict."""
+        merged: Dict[str, object] = dict(self.obs.metrics.as_dict())
+        merged.update(self.traverser.metrics.as_dict())
+        return merged
+
+    def export_trace(
+        self, path: str, jsonl_path: Optional[str] = None
+    ) -> None:
+        """Write the run's Chrome ``trace_event`` JSON to ``path``.
+
+        The metrics snapshot rides along in ``otherData.metrics`` so
+        ``python -m repro.obs report`` can print both.  ``jsonl_path``
+        additionally writes the native line-JSON event log.  Raises
+        :class:`SchedulerError` when the simulator was not observed.
+        """
+        if not self.obs.enabled:
+            raise SchedulerError(
+                "no trace recorded: construct the simulator with "
+                "observe=True (or set FLUXOBS=1)"
+            )
+        self.obs.tracer.write_chrome(
+            path, {"metrics": self.metrics_snapshot()}
+        )
+        if jsonl_path is not None:
+            self.obs.tracer.write_jsonl(jsonl_path)
 
     # ------------------------------------------------------------------
     # internals
@@ -689,8 +759,35 @@ class ClusterSimulator:
 
     def _cycle(self) -> None:
         """Run one scheduling cycle and enqueue start/end/kill events."""
+        obs = self.obs
+        if not obs.enabled:
+            self._run_cycle()
+            return
+        # Planner-layer instrumentation reads the process-global observer
+        # (planners have no back-pointer to the simulator); activate ours
+        # only while our cycle runs so interleaved simulators stay honest.
+        _obs_runtime.activate(obs)
+        obs.metrics.counter("sim.cycles", "scheduling cycles run").inc()
+        obs.tracer.begin(
+            "sim.cycle", "sim", vt=float(self.now), policy=self.queue_policy.name
+        )
+        try:
+            self._run_cycle()
+        finally:
+            obs.tracer.end()
+            _obs_runtime.deactivate()
+
+    def _run_cycle(self) -> None:
         self._crashpoint("cycle.pre")
-        self.queue_policy.cycle(self._pending_jobs(), self.traverser, self.now)
+        pending = self._pending_jobs()
+        if self.obs.enabled:
+            self.obs.metrics.gauge(
+                "queue.depth", "schedulable jobs at cycle start"
+            ).set(len(pending))
+            self.obs.tracer.sample(
+                "queue.depth", {"pending": len(pending)}, vt=float(self.now)
+            )
+        self.queue_policy.cycle(pending, self.traverser, self.now)
         self._crashpoint("cycle.booked")
         for job in self.jobs.values():
             alloc = job.allocation

@@ -14,6 +14,8 @@ FLT001    no ``==``/``!=`` on float-typed times (use repro.epsilon)
 MUT001    no mutable default arguments
 JRN001    simulator command handlers journal before they mutate
 API001    public functions in core modules carry full type hints
+OBS001    instrumentation goes through ``repro.obs``: no raw timer
+          reads or hand-rolled stats-dict counters elsewhere
 ========  ==============================================================
 """
 
@@ -31,6 +33,7 @@ __all__ = [
     "MutableDefaultRule",
     "JournalBeforeMutateRule",
     "TypeHintRule",
+    "ObservabilityFunnelRule",
 ]
 
 
@@ -461,6 +464,76 @@ class JournalBeforeMutateRule(LintRule):
                     ):
                         return node
         return None
+
+
+@register_rule
+class ObservabilityFunnelRule(LintRule):
+    """OBS001: instrumentation must funnel through :mod:`repro.obs`.
+
+    Two patterns used to be scattered across the codebase and are now
+    centralized: raw ``time.perf_counter()``-style wall-clock timing (the
+    audited shim is :func:`repro.obs.clock.wall_now` / ``WallTimer``) and
+    hand-rolled ``stats["key"] += n`` counter dicts (the replacement is a
+    :class:`repro.obs.MetricsRegistry` counter).  Scattered instrumentation
+    drifts: each site needs its own DET001 audit, and ad-hoc dicts never
+    reach trace exports or ``repro.obs report``.
+    """
+
+    rule_id = "OBS001"
+    summary = "raw timer read or stats-dict counter outside repro.obs"
+
+    #: every ``time`` module entry point that reads a clock
+    _TIMER_FNS = {
+        "time", "time_ns", "perf_counter", "perf_counter_ns",
+        "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+        "thread_time", "thread_time_ns", "clock",
+    }
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        # repro.obs itself is the one place allowed to touch raw clocks
+        # and accumulator internals.
+        return "repro/" in path and "repro/obs/" not in path
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self._tracker().resolve_call(node.func)
+        if resolved is not None:
+            module, attr = resolved
+            if module == "time" and attr in self._TIMER_FNS:
+                self.report(
+                    node,
+                    f"raw time.{attr}() bypasses the observability layer; "
+                    "use repro.obs.wall_now()/WallTimer (audited clock shim) "
+                    "or a MetricsRegistry histogram",
+                )
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        if isinstance(target, ast.Subscript) and self._is_stats_dict(
+            target.value
+        ):
+            self.report(
+                node,
+                "manual stats-dict increment; register a counter on a "
+                "repro.obs MetricsRegistry so it reaches trace exports "
+                "and `python -m repro.obs report`",
+            )
+        self.generic_visit(node)
+
+    def _is_stats_dict(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id == "stats"
+        if isinstance(node, ast.Attribute):
+            return node.attr == "stats"
+        return False
+
+    def _tracker(self) -> _ImportTracker:
+        tracker = getattr(self, "_tracker_cache", None)
+        if tracker is None:
+            tracker = _ImportTracker(self.module.tree)
+            self._tracker_cache = tracker
+        return tracker
 
 
 @register_rule

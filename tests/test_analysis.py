@@ -72,6 +72,47 @@ class TestSlowdownsAndGantt:
         assert ascii_gantt([]) == "(no placed jobs)"
 
 
+class TestEdgeCases:
+    """Edge cases pinned alongside the observability work: the analysis
+    metrics feed trace summaries, so their degenerate shapes must be exact."""
+
+    def test_timeline_empty_graph_is_single_idle_step(self):
+        g = tiny_cluster(racks=2, nodes_per_rack=3)
+        assert utilization_timeline(g, "node") == [(0, 0, 6)]
+        # and a type the graph does not contain at all
+        assert utilization_timeline(g, "fpga") == [(0, 0, 0)]
+
+    def test_zero_capacity_utilization_is_zero_not_nan(self):
+        g = tiny_cluster(racks=1, nodes_per_rack=1)
+        assert average_utilization(g, "fpga", 0, 100) == 0.0
+
+    def test_gantt_matches_golden(self):
+        import os
+
+        g = tiny_cluster(racks=1, nodes_per_rack=4, cores=2)
+        sim = ClusterSimulator(g, queue="easy")
+        sim.submit(nodes_jobspec(3, duration=100), at=0)
+        sim.submit(nodes_jobspec(2, duration=60), at=0)   # must wait
+        sim.submit(nodes_jobspec(1, duration=40), at=0)   # backfills
+        report = sim.run()
+        chart = ascii_gantt(report.jobs, width=40) + "\n"
+        golden = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "golden", "gantt_easy.txt",
+        )
+        with open(golden, "r", encoding="utf-8") as handle:
+            assert chart == handle.read()
+
+    def test_gantt_pending_job_row(self):
+        g = tiny_cluster(racks=1, nodes_per_rack=2)
+        sim = ClusterSimulator(g)
+        sim.submit(nodes_jobspec(1, duration=10), at=0)
+        sim.submit(nodes_jobspec(4, duration=10), at=0)  # can never fit
+        sim.run(until=50)
+        chart = ascii_gantt(sim.jobs.values(), width=10)
+        assert "(pending)" in chart
+
+
 class TestCsvExport:
     def test_report_csv(self, tmp_path):
         import csv

@@ -38,6 +38,7 @@ class TestEngine:
     def test_all_rules_registered(self):
         assert set(all_rules()) == {
             "DET001", "EXC001", "FLT001", "MUT001", "JRN001", "API001",
+            "OBS001",
         }
 
     def test_unknown_rule_id_rejected(self):
@@ -347,6 +348,62 @@ class TestAPI001:
         src = "def allocate(jobspec, at):\n    return None\n"
         assert rules_hit(src, "src/repro/analysis/thing.py",
                          select=["API001"]) == []
+
+
+# ----------------------------------------------------------------------
+# OBS001 — instrumentation funnels through repro.obs
+# ----------------------------------------------------------------------
+class TestOBS001:
+    def test_raw_timer_flagged_at_line(self):
+        src = "import time\n\ndef f():\n    return time.perf_counter()\n"
+        (v,) = lint_source(src, "src/repro/sched/thing.py",
+                           select=["OBS001"])
+        assert (v.rule, v.line) == ("OBS001", 4)
+        assert "repro.obs" in v.message
+
+    def test_aliased_timer_and_from_import(self):
+        src = (
+            "import time as _time\n"
+            "from time import monotonic\n"
+            "a = _time.perf_counter_ns()\n"
+            "b = monotonic()\n"
+        )
+        vs = lint_source(src, "src/repro/sched/thing.py", select=["OBS001"])
+        assert [v.line for v in vs] == [3, 4]
+
+    def test_stats_dict_increment_flagged(self):
+        src = (
+            "def visit(self):\n"
+            "    self.stats['visits'] += 1\n"
+            "    stats['x'] += 2\n"
+        )
+        vs = lint_source(src, "src/repro/match/thing.py", select=["OBS001"])
+        assert [v.line for v in vs] == [2, 3]
+
+    def test_other_dicts_and_assignments_ok(self):
+        src = (
+            "def f(self):\n"
+            "    self.recovery_stats['replays'] += 1\n"
+            "    self.stats = {}\n"
+            "    counts['x'] += 1\n"
+        )
+        assert rules_hit(src, "src/repro/sched/thing.py",
+                         select=["OBS001"]) == []
+
+    def test_obs_package_exempt(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert rules_hit(src, "src/repro/obs/clock.py",
+                         select=["OBS001"]) == []
+        assert rules_hit(src, "lib/other.py", select=["OBS001"]) == []
+
+    def test_suppression_directive(self):
+        src = (
+            "import time\n"
+            "# fluxlint: disable-next-line=OBS001\n"
+            "t = time.perf_counter()\n"
+        )
+        assert rules_hit(src, "src/repro/sched/thing.py",
+                         select=["OBS001"]) == []
 
 
 # ----------------------------------------------------------------------
