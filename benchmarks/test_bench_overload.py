@@ -1,0 +1,79 @@
+"""Overload-protection overhead: admission + budgets + breakers vs. bare.
+
+Benchmarks the fixed baseline scenario from ``perf_baseline.py`` with the
+overload controller attached and detached.  The protected run sheds load
+and degrades matches, so it is *faster* on big bursts; the interesting
+number is the per-cycle bookkeeping cost, which ``benchmark.extra_info``
+exposes alongside the shed/degrade accounting.
+
+Assertions here are hardware-independent (determinism and accounting);
+the absolute wall-time gate lives in ``perf_baseline.py check`` and runs
+as its own CI step against the checked-in ``BENCH_overload.json``.
+"""
+
+import pytest
+
+import perf_baseline
+
+from repro import ClusterSimulator, FaultInjector, FaultModel, RetryPolicy, tiny_cluster
+from repro.resilience import InvariantAuditor
+from repro.workloads import synthetic_trace
+
+
+def unprotected_scenario():
+    """The same workload as ``perf_baseline.overload_scenario``, bare."""
+    graph = tiny_cluster(
+        racks=2, nodes_per_rack=8, cores=4, gpus=0, memory_pools=0
+    )
+    sim = ClusterSimulator(
+        graph,
+        match_policy="low",
+        queue="easy",
+        retry_policy=RetryPolicy(
+            max_retries=2, backoff_base=60, jitter=0.25, seed=5
+        ),
+        audit=InvariantAuditor(),
+    )
+    for t in synthetic_trace(
+        n_jobs=120, seed=13, max_nodes=8, min_duration=200,
+        max_duration=3000, arrival_spread=6000,
+    ):
+        at = (t.submit_time % 3) * 1500 if t.job_index % 4 == 0 else t.submit_time
+        sim.submit(t.to_jobspec(), at=at, priority=t.job_index % 5)
+    FaultInjector(
+        {"node": FaultModel(mtbf=20_000, mttr=600)}, horizon=12_000, seed=21
+    ).install(sim)
+    return sim
+
+
+@pytest.mark.parametrize("protected", [False, True], ids=["bare", "protected"])
+def test_overload_protection_cost(benchmark, protected):
+    def run():
+        sim = (
+            perf_baseline.overload_scenario() if protected
+            else unprotected_scenario()
+        )
+        return sim, sim.run()
+
+    sim, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    sim.auditor.check(sim)
+    if protected:
+        assert report.overload_shed > 0
+        assert report.degraded_matches > 0
+        assert report.deadline_cycles > 0
+        benchmark.extra_info.update(
+            shed=report.overload_shed,
+            degraded=report.degraded_matches,
+            deadline_cycles=report.deadline_cycles,
+            breaker_trips=report.breaker_trips,
+        )
+    benchmark.extra_info.update(events=len(sim.event_log))
+
+
+def test_protected_run_is_deterministic():
+    first = perf_baseline.overload_scenario()
+    second = perf_baseline.overload_scenario()
+    first.run()
+    second.run()
+    assert first.event_log == second.event_log
+    assert len(first.event_log) > 0

@@ -56,6 +56,51 @@ class JobError(SchedulerError):
     """Raised on invalid job state transitions."""
 
 
+class OverloadError(SchedulerError):
+    """Base class for overload-protection control flow (repro.resilience).
+
+    Subclasses are *control-flow signals*, not defects: the overload
+    controller raises and catches them to bound work under pressure.  Code
+    outside the overload machinery must never swallow them (lint rule
+    OVL001 enforces this) — a silently absorbed signal turns bounded
+    degradation back into an unbounded stall.
+    """
+
+
+class AdmissionRejected(OverloadError):
+    """Raised when admission control refuses a submission.
+
+    Carries the admission ``policy`` that refused and the queue ``depth``
+    observed at the decision, so callers can surface an actionable message.
+    """
+
+    def __init__(self, message: str, policy: str = "", depth: int = 0) -> None:
+        super().__init__(message)
+        self.policy = policy
+        self.depth = depth
+
+
+class SchedulingDeadlineExceeded(OverloadError):
+    """Raised at a cooperative cancellation checkpoint when a scheduling
+    work budget is exhausted.
+
+    ``scope`` is ``"attempt"`` (one match attempt overran; the traverser
+    converts it into a no-match verdict) or ``"cycle"`` (the whole dispatch
+    cycle overran; the overload controller ends the cycle early).  ``spent``
+    and ``limit`` are deterministic work units (graph visits + reserve
+    iterations), never wall-clock.
+    """
+
+    def __init__(self, scope: str, spent: int, limit: int) -> None:
+        super().__init__(
+            f"scheduling {scope} budget exceeded: {spent} work units "
+            f"spent, limit {limit}"
+        )
+        self.scope = scope
+        self.spent = spent
+        self.limit = limit
+
+
 class SanitizerError(FluxionError):
     """Raised by the FluxSan runtime sanitizer on a detected invariant
     violation: span double-free, overlapping exclusive holds, pruning-filter

@@ -28,13 +28,20 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import functools
 
-from ..errors import AllocationNotFoundError, MatchError
+from ..errors import (
+    AllocationNotFoundError,
+    MatchError,
+    SchedulingDeadlineExceeded,
+)
 from ..jobspec import Jobspec, ResourceRequest
 from ..obs import NULL_OBSERVER, Counter, MetricsRegistry, Observer
 from ..resource import CONTAINMENT, ResourceGraph, ResourceVertex
 from ..resource.vertex import X_LIMIT
 from .policy import MatchPolicy, make_policy
 from .writer import Allocation, Selection
+
+if False:  # pragma: no cover - annotation-only imports
+    from ..resilience.overload import WorkBudget
 
 __all__ = ["Traverser", "Candidate"]
 
@@ -188,6 +195,9 @@ class Traverser:
             "sdfu.filter_misses", "pruning-filter consults that passed")
         self._c_sdfu_updates = self.metrics.counter(
             "sdfu.updates", "ancestor filters updated after a booking")
+        self._c_deadline = self.metrics.counter(
+            "dfu.deadline_cancels",
+            "match attempts cut short by a scheduling deadline")
         self._stats_view = _StatsView({
             "visits": self._c_visits,
             "matched": self._c_matched,
@@ -199,6 +209,11 @@ class Traverser:
         #: journal; None disables).
         self.on_book = None
         self.on_remove = None
+        #: cooperative work budget (repro.resilience.overload): when an
+        #: OverloadController attaches one for the duration of a dispatch
+        #: cycle, candidate collection and the reservation search charge it
+        #: and honour its cancellation checkpoints.  None = unbounded.
+        self.budget: "Optional[WorkBudget]" = None
 
     @property
     def stats(self) -> _StatsView:
@@ -219,10 +234,21 @@ class Traverser:
         """Match and book ``jobspec`` starting exactly at ``at``.
 
         Returns the Allocation, or None when the request cannot be satisfied
-        at that time.
+        at that time — including when an attached work budget's *attempt*
+        deadline fires mid-traversal (partial verdict: treated as no-match;
+        a *cycle*-scope deadline propagates to the overload controller).
         """
         with self.obs.tracer.span("dfu.match", "match", vt=float(at)):
-            selections = self._match_at(at, jobspec.duration, jobspec)
+            if self.budget is not None:
+                self.budget.begin_attempt()
+            try:
+                selections = self._match_at(at, jobspec.duration, jobspec)
+            except SchedulingDeadlineExceeded as exc:
+                if exc.scope != "attempt":
+                    raise
+                self._c_deadline.inc()
+                self._c_failed.inc()
+                return None
             if selections is None:
                 self._c_failed.inc()
                 return None
@@ -240,7 +266,16 @@ class Traverser:
         is booked.  Returns None when the request can never fit.
         """
         with self.obs.tracer.span("dfu.reserve_search", "match", vt=float(now)):
-            return self._reserve_search(jobspec, now)
+            if self.budget is not None:
+                self.budget.begin_attempt()
+            try:
+                return self._reserve_search(jobspec, now)
+            except SchedulingDeadlineExceeded as exc:
+                if exc.scope != "attempt":
+                    raise
+                self._c_deadline.inc()
+                self._c_failed.inc()
+                return None
 
     def _reserve_search(
         self, jobspec: Jobspec, now: int
@@ -267,6 +302,8 @@ class Traverser:
         candidate = now
         for _ in range(self.max_reserve_iters):
             self._c_reserve.inc()
+            if self.budget is not None:
+                self.budget.charge(1)
             # Advance to the first aggregate-feasible time per every filter.
             stable = False
             while not stable:
@@ -607,55 +644,65 @@ class Traverser:
         traced = tracer.enabled
         if traced:
             tracer.begin("dfu.collect", "match", rtype=rtype)
+        budget = self.budget
         visits = 0
         filter_hits = 0
         filter_misses = 0
-        while stack:
-            vertex, via = stack.pop()
-            uid = vertex.uniq_id
-            if uid in visited:
-                continue
-            visited.add(uid)
-            visits += 1
-            if vertex.status != "up":
-                continue  # drained vertices close their whole subtree
-            if vertex.type == rtype:
-                if predicate is None or predicate(vertex):
-                    results.append(Candidate(vertex, via))
-                continue
-            if at is not None:
-                # Exclusively-held vertices close their whole subtree (§3.4).
-                if (
-                    self._avail_x(vertex, at, duration)
-                    - tentative.x.get(uid, 0)
-                    < 1
-                ):
+        try:
+            while stack:
+                vertex, via = stack.pop()
+                uid = vertex.uniq_id
+                if uid in visited:
                     continue
-                if self.prune and vertex.prune_filters is not None:
-                    filters = vertex.prune_filters
-                    tracked = {
-                        t: n
-                        for t, n in interior_demand.items()
-                        if n and filters.tracks(t)
-                    }
-                    if tracked:
-                        if not filters.avail_during(at, duration, tracked):
-                            filter_hits += 1
-                            continue
-                        filter_misses += 1
-            children = graph.children_tuple(vertex, self.subsystem)
-            next_via = via + (vertex,)
-            for child in reversed(children):
-                if child.uniq_id not in visited:
-                    stack.append((child, next_via))
-        self._c_visits.inc(visits)
-        if filter_hits:
-            self._c_filter_hits.inc(filter_hits)
-        if filter_misses:
-            self._c_filter_misses.inc(filter_misses)
-        if traced:
-            tracer.end(visits=visits, candidates=len(results),
-                       pruned=filter_hits)
+                visited.add(uid)
+                visits += 1
+                if budget is not None:
+                    # Cooperative cancellation checkpoint: may raise
+                    # SchedulingDeadlineExceeded, aborting the walk with a
+                    # partial verdict (the finally block still accounts the
+                    # work already done).
+                    budget.charge(1)
+                if vertex.status != "up":
+                    continue  # drained vertices close their whole subtree
+                if vertex.type == rtype:
+                    if predicate is None or predicate(vertex):
+                        results.append(Candidate(vertex, via))
+                    continue
+                if at is not None:
+                    # Exclusively-held vertices close their whole subtree
+                    # (§3.4).
+                    if (
+                        self._avail_x(vertex, at, duration)
+                        - tentative.x.get(uid, 0)
+                        < 1
+                    ):
+                        continue
+                    if self.prune and vertex.prune_filters is not None:
+                        filters = vertex.prune_filters
+                        tracked = {
+                            t: n
+                            for t, n in interior_demand.items()
+                            if n and filters.tracks(t)
+                        }
+                        if tracked:
+                            if not filters.avail_during(at, duration, tracked):
+                                filter_hits += 1
+                                continue
+                            filter_misses += 1
+                children = graph.children_tuple(vertex, self.subsystem)
+                next_via = via + (vertex,)
+                for child in reversed(children):
+                    if child.uniq_id not in visited:
+                        stack.append((child, next_via))
+        finally:
+            self._c_visits.inc(visits)
+            if filter_hits:
+                self._c_filter_hits.inc(filter_hits)
+            if filter_misses:
+                self._c_filter_misses.inc(filter_misses)
+            if traced:
+                tracer.end(visits=visits, candidates=len(results),
+                           pruned=filter_hits)
         return results
 
     def _vertex_fits(

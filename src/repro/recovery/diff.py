@@ -99,6 +99,11 @@ def state_fingerprint(sim: ClusterSimulator) -> Dict[str, Any]:
             [graph.vertex(uid).name, t0, t1, nodes]
             for uid, t0, t1, nodes in sim._downtime
         ),
+        # Overload-protection state steers future admission/ladder/breaker
+        # decisions, so it is part of logical equivalence (None = disabled).
+        "overload": (
+            None if sim.overload is None else sim.overload.export_state()
+        ),
     }
 
 

@@ -144,6 +144,16 @@ def snapshot_state(sim: ClusterSimulator, seq: int = 0) -> Dict[str, Any]:
         ],
         "retry_policy": _retry_policy_state(sim),
         "recovery_stats": dict(sim.recovery_stats),
+        # Optional overload-protection state (absent/None = disabled; older
+        # snapshots without the key restore exactly as before).
+        "overload": (
+            None
+            if sim.overload is None
+            else {
+                "config": sim.overload.config.to_dict(),
+                "state": sim.overload.export_state(),
+            }
+        ),
     }
 
 
@@ -163,6 +173,12 @@ def restore_simulator(doc: Dict[str, Any]) -> ClusterSimulator:
         retry_policy = RetryPolicy(**retry_state["config"])
         version, internal, gauss = retry_state["rng_state"]
         retry_policy._rng.setstate((version, tuple(internal), gauss))
+    overload_doc = doc.get("overload")
+    overload_config = None
+    if overload_doc is not None:
+        from ..resilience.overload import OverloadConfig
+
+        overload_config = OverloadConfig.from_dict(overload_doc["config"])
     sim = ClusterSimulator(
         graph,
         match_policy=config["match_policy"],
@@ -170,6 +186,7 @@ def restore_simulator(doc: Dict[str, Any]) -> ClusterSimulator:
         prune=config["prune"],
         retry_policy=retry_policy,
         audit=config["audit"],
+        overload=overload_config,
     )
     by_name = {v.name: v for v in graph.vertices()}
 
@@ -236,6 +253,8 @@ def restore_simulator(doc: Dict[str, Any]) -> ClusterSimulator:
         for name, t0, t1, nodes in doc["downtime"]
     ]
     sim.recovery_stats = dict(doc["recovery_stats"])
+    if overload_doc is not None:
+        sim.overload.import_state(overload_doc["state"])
     return sim
 
 

@@ -18,19 +18,50 @@ simulator needs to model that credibly:
     traverser allocations against planner span accounting, graph
     exclusivity and job states after every scheduling cycle, turning
     silent state corruption into loud, structured failures.
+``repro.resilience.overload``
+    :class:`OverloadConfig` / :class:`OverloadController` — admission
+    control with bounded queue depth (reject/shed/defer), deterministic
+    scheduling-work deadlines with cooperative cancellation
+    (:class:`WorkBudget`), :class:`CircuitBreaker` per queue policy and
+    match subsystem, and the graceful degradation ladder
+    (:class:`DegradeLevel`: full -> coarse -> node-centric -> defer).
+``repro.resilience.chaos``
+    :class:`CampaignSpec` / :func:`run_campaign` / :func:`shrink_campaign`
+    — seeded chaos campaigns composing submission bursts, fault storms and
+    crash injection, audited every cycle, with greedy shrinking of failing
+    campaigns to a minimal reproducer.
 """
 
 from .auditor import InvariantAuditor, InvariantViolation, Violation
+from .chaos import CampaignResult, CampaignSpec, run_campaign, shrink_campaign
 from .faults import FaultEvent, FaultInjector, FaultModel, install_trace
+from .overload import (
+    CircuitBreaker,
+    DegradeLevel,
+    OverloadConfig,
+    OverloadController,
+    WorkBudget,
+    coarsen_jobspec,
+)
 from .retry import RetryPolicy
 
 __all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "CircuitBreaker",
+    "DegradeLevel",
     "FaultEvent",
     "FaultInjector",
     "FaultModel",
     "InvariantAuditor",
     "InvariantViolation",
+    "OverloadConfig",
+    "OverloadController",
     "RetryPolicy",
     "Violation",
+    "WorkBudget",
+    "coarsen_jobspec",
     "install_trace",
+    "run_campaign",
+    "shrink_campaign",
 ]

@@ -154,7 +154,14 @@ class FaultInjector:
         return events
 
     def install(self, sim: "ClusterSimulator") -> List[FaultEvent]:
-        """Generate the trace for ``sim.graph`` and enqueue every event."""
+        """Generate the trace for ``sim.graph`` and enqueue every event.
+
+        The whole trace is validated against the installed graph before any
+        event is scheduled (see :func:`install_trace`), so a graph mismatch
+        — e.g. generating against one graph and installing on a simulator
+        built from another — fails loudly instead of scheduling events that
+        target nothing.
+        """
         events = self.generate(sim.graph)
         install_trace(sim, events)
         return events
@@ -169,14 +176,35 @@ def install_trace(
     ``events`` are :class:`FaultEvent` instances or ``(time, path, kind)``
     tuples; paths are containment paths resolved against ``sim.graph``.
     Returns the number of events installed.
+
+    The install is *atomic*: every path is resolved before any event is
+    scheduled, and a path naming no vertex of the installed graph raises
+    :class:`~repro.errors.SchedulerError` listing every unknown path —
+    nothing is enqueued, so a bad trace can never leave a half-installed
+    fault storm (or silently schedule no-op fail/repair events) behind.
     """
-    count = 0
+    from ..errors import ResourceGraphError
+
+    resolved = []
+    unknown: List[str] = []
     for entry in events:
         event = entry if isinstance(entry, FaultEvent) else FaultEvent(*entry)
-        vertex = sim.graph.by_path(event.path)
+        try:
+            vertex = sim.graph.by_path(event.path)
+        except ResourceGraphError:
+            if event.path not in unknown:
+                unknown.append(event.path)
+            continue
+        resolved.append((event, vertex))
+    if unknown:
+        raise SchedulerError(
+            f"fault trace names {len(unknown)} path(s) with no vertex in "
+            f"the installed graph: {unknown}; was the trace generated "
+            "against a different graph?"
+        )
+    for event, vertex in resolved:
         if event.kind == "fail":
             sim.schedule_failure(vertex, at=event.time)
         else:
             sim.schedule_repair(vertex, at=event.time)
-        count += 1
-    return count
+    return len(resolved)

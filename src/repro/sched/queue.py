@@ -94,6 +94,15 @@ class QueuePolicy:
         return _SchedAttempt(self.obs, job, now, verb)
 
     @staticmethod
+    def _out_of_budget(traverser: Traverser) -> bool:
+        """True when an attached overload work budget is spent: policies
+        stop attempting further jobs this cycle (clean stop between
+        attempts; mid-attempt the budget's own cancellation checkpoints
+        fire — see :mod:`repro.resilience.overload`)."""
+        budget = traverser.budget
+        return budget is not None and budget.cycle_exhausted
+
+    @staticmethod
     def _timed_match(job: Job, call, *args, **kwargs):
         """Deprecated: time a single traverser verb into job.sched_time.
 
@@ -128,6 +137,8 @@ class FCFSQueue(QueuePolicy):
         for job in pending:
             if job.state is not JobState.PENDING:
                 continue
+            if self._out_of_budget(traverser):
+                break
             with self._attempt(job, now, "allocate"):
                 alloc = traverser.allocate(job.jobspec, at=now)
                 if alloc is not None:
@@ -164,6 +175,8 @@ class EasyBackfill(QueuePolicy):
                     job.allocations.clear()
         head_blocked = False
         for job in pending:
+            if self._out_of_budget(traverser):
+                break
             if not head_blocked:
                 with self._attempt(job, now, "allocate_orelse_reserve"):
                     alloc = traverser.allocate_orelse_reserve(
@@ -221,6 +234,8 @@ class ConservativeBackfill(QueuePolicy):
         for job in pending:
             if job.state is not JobState.PENDING:
                 continue
+            if self._out_of_budget(traverser):
+                break
             if self.depth is not None and reserved >= self.depth:
                 # Depth reached: only start-now placements beyond this point.
                 with self._attempt(job, now, "allocate"):

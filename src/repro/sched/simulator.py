@@ -81,6 +81,32 @@ class SimulationReport:
     #: metrics snapshot (observer + traverser registries) when the run was
     #: observed (ClusterSimulator(observe=...) / FLUXOBS=1), else None
     metrics: "Optional[Dict[str, object]]" = None
+    # -- overload protection (repro.resilience.overload) ----------------
+    #: True when an OverloadController was attached for the run
+    overload_enabled: bool = False
+    #: submissions refused by admission control (policy "reject")
+    overload_rejected: int = 0
+    #: jobs evicted (or refused) by the shed-lowest-priority policy
+    overload_shed: int = 0
+    #: submissions parked by the "defer" policy over the whole run
+    overload_deferred: int = 0
+    #: deferred jobs promoted back into the schedulable queue
+    overload_promoted: int = 0
+    #: jobs still parked in the deferred holding bay at end of run
+    overload_still_deferred: int = 0
+    #: jobs matched at a degraded ladder level (COARSE/NODECENTRIC)
+    degraded_matches: int = 0
+    #: match attempts cut short by the attempt deadline
+    deadline_attempts: int = 0
+    #: dispatch cycles cut short by the cycle deadline
+    deadline_cycles: int = 0
+    #: circuit-breaker trips across every breaker
+    breaker_trips: int = 0
+    #: degradation-ladder level when the run ended ("" when disabled)
+    overload_level: str = ""
+    #: worst cycle-budget overrun in work units (bounded by one
+    #: cancellation-checkpoint interval)
+    max_cycle_overrun: int = 0
 
     @property
     def completed(self) -> List[Job]:
@@ -110,6 +136,21 @@ class SimulationReport:
     @property
     def user_canceled(self) -> List[Job]:
         return self._by_reason(CancelReason.USER)
+
+    @property
+    def admission_rejected(self) -> List[Job]:
+        """Jobs refused outright by admission control."""
+        return self._by_reason(CancelReason.ADMISSION)
+
+    @property
+    def admission_shed(self) -> List[Job]:
+        """Jobs evicted (or refused) by the shed-lowest-priority policy."""
+        return self._by_reason(CancelReason.SHED)
+
+    @property
+    def degraded(self) -> List[Job]:
+        """Jobs whose allocation came from a degraded ladder level."""
+        return [j for j in self.jobs if j.degraded is not None]
 
     def mean_wait(self) -> float:
         """Mean wait (submit -> start) over jobs that started."""
@@ -157,6 +198,19 @@ class SimulationReport:
                 f"{self.recoveries} restarts "
                 f"({self.journal_replayed} replayed, "
                 f"{self.torn_records_dropped} torn dropped)"
+            )
+        if self.overload_enabled:
+            text += (
+                f"; overload: {self.overload_rejected} rejected, "
+                f"{self.overload_shed} shed, "
+                f"{self.overload_deferred} deferred "
+                f"({self.overload_promoted} resumed, "
+                f"{self.overload_still_deferred} parked), "
+                f"{self.degraded_matches} degraded matches, "
+                f"{self.deadline_attempts} attempt deadlines, "
+                f"{self.deadline_cycles} cut cycles, "
+                f"{self.breaker_trips} breaker trips, "
+                f"level={self.overload_level.lower()}"
             )
         if self.metrics:
             visits = self.metrics.get("dfu.visits", 0)
@@ -211,6 +265,13 @@ class ClusterSimulator:
         across simulators.  Off by default; the disabled path costs only
         no-op calls.  See :meth:`export_trace` and
         :attr:`SimulationReport.metrics`.
+    overload:
+        Overload protection (:mod:`repro.resilience.overload`): an
+        :class:`~repro.resilience.OverloadConfig` (or a pre-built
+        :class:`~repro.resilience.OverloadController`) enables admission
+        control, scheduling deadlines, circuit breakers and the graceful
+        degradation ladder for this simulator.  ``None`` (default) keeps
+        the historical unbounded behaviour.
     """
 
     def __init__(
@@ -223,6 +284,7 @@ class ClusterSimulator:
         audit: bool = False,
         sanitize: bool = False,
         observe: "Observer | bool | None" = None,
+        overload: "OverloadConfig | OverloadController | None" = None,
     ) -> None:
         self.graph = graph
         self.obs = _resolve_observer(observe)
@@ -276,6 +338,20 @@ class ClusterSimulator:
             from ..statcheck.sanitizer import FluxSan
 
             self.fluxsan = FluxSan().activate()
+        # overload protection (repro.resilience.overload)
+        self.overload = None
+        if overload is not None:
+            from ..resilience.overload import (
+                OverloadConfig,
+                OverloadController,
+            )
+
+            self.overload = (
+                overload
+                if isinstance(overload, OverloadController)
+                else OverloadController(overload)
+            )
+            self.overload.attach(self)
 
     # ------------------------------------------------------------------
     # submission
@@ -494,6 +570,23 @@ class ClusterSimulator:
             elif j.end_time is not None:
                 ends.append(j.end_time)
         makespan = max(ends, default=self.now)
+        overload: Dict[str, object] = {}
+        if self.overload is not None:
+            counters = self.overload.counters
+            overload = {
+                "overload_enabled": True,
+                "overload_rejected": counters["rejected"],
+                "overload_shed": counters["shed"],
+                "overload_deferred": counters["deferred"],
+                "overload_promoted": counters["promoted"],
+                "overload_still_deferred": len(self.overload.deferred),
+                "degraded_matches": counters["degraded_matches"],
+                "deadline_attempts": counters["deadline_attempts"],
+                "deadline_cycles": counters["deadline_cycles"],
+                "breaker_trips": self.overload.breaker_trips,
+                "overload_level": self.overload.level.name,
+                "max_cycle_overrun": self.overload.max_cycle_overrun,
+            }
         closed = [(t1 - t0) for _, t0, t1, _ in self._downtime]
         node_seconds_lost = sum(
             (t1 - t0) * nodes for _, t0, t1, nodes in self._downtime
@@ -517,6 +610,7 @@ class ClusterSimulator:
             torn_records_dropped=self.recovery_stats["torn_records_dropped"],
             recoveries=self.recovery_stats["recoveries"],
             metrics=self.metrics_snapshot() if self.obs.enabled else None,
+            **overload,
         )
 
     def metrics_snapshot(self) -> Dict[str, object]:
@@ -591,6 +685,7 @@ class ClusterSimulator:
             self._on_walltime(self.jobs[ref], data)
 
     def _pending_jobs(self) -> List[Job]:
+        deferred = self.overload.deferred if self.overload is not None else ()
         return [
             j
             for j in sorted(
@@ -598,9 +693,14 @@ class ClusterSimulator:
             )
             if j.state in (JobState.PENDING, JobState.RESERVED)
             and j.submit_time <= self.now
+            and j.job_id not in deferred
         ]
 
     def _on_submit(self, job: Job) -> None:
+        if job.state is not JobState.PENDING:
+            # Canceled between scheduling and dispatch — e.g. shed as an
+            # admission victim by a same-tick sibling submission.
+            return
         if not self.traverser.satisfiable(job.jobspec):
             # Failure retries are spared the insta-cancel while the shortfall
             # is only down (not missing) hardware: they wait for the repair.
@@ -608,6 +708,8 @@ class ClusterSimulator:
                 job.cancel_reason = CancelReason.UNSATISFIABLE
                 job.transition(JobState.CANCELED)
                 return
+        if self.overload is not None and not self.overload.admit(job):
+            return  # rejected, shed or deferred: no cycle to run
         self._cycle()
 
     def _structurally_satisfiable(self, jobspec: Jobspec) -> bool:
@@ -779,6 +881,8 @@ class ClusterSimulator:
 
     def _run_cycle(self) -> None:
         self._crashpoint("cycle.pre")
+        if self.overload is not None:
+            self.overload.promote_deferred()
         pending = self._pending_jobs()
         if self.obs.enabled:
             self.obs.metrics.gauge(
@@ -787,7 +891,10 @@ class ClusterSimulator:
             self.obs.tracer.sample(
                 "queue.depth", {"pending": len(pending)}, vt=float(self.now)
             )
-        self.queue_policy.cycle(pending, self.traverser, self.now)
+        if self.overload is not None:
+            self.overload.run_cycle(pending)
+        else:
+            self.queue_policy.cycle(pending, self.traverser, self.now)
         self._crashpoint("cycle.booked")
         for job in self.jobs.values():
             alloc = job.allocation

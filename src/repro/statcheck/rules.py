@@ -16,6 +16,9 @@ JRN001    simulator command handlers journal before they mutate
 API001    public functions in core modules carry full type hints
 OBS001    instrumentation goes through ``repro.obs``: no raw timer
           reads or hand-rolled stats-dict counters elsewhere
+OVL001    overload-control signals (``AdmissionRejected``,
+          ``SchedulingDeadlineExceeded``) are only absorbed by the
+          overload machinery itself; everywhere else must re-raise
 ========  ==============================================================
 """
 
@@ -34,6 +37,7 @@ __all__ = [
     "JournalBeforeMutateRule",
     "TypeHintRule",
     "ObservabilityFunnelRule",
+    "OverloadSignalSwallowRule",
 ]
 
 
@@ -606,3 +610,50 @@ class TypeHintRule(LintRule):
             isinstance(dec, ast.Name) and dec.id == "staticmethod"
             for dec in node.decorator_list
         )
+
+
+@register_rule
+class OverloadSignalSwallowRule(LintRule):
+    """OVL001: overload-control signals are scheduling *decisions*, not
+    failures.  :class:`~repro.errors.AdmissionRejected` and
+    :class:`~repro.errors.SchedulingDeadlineExceeded` (and their
+    :class:`~repro.errors.OverloadError` base) are raised by the admission
+    controller and work budgets so the overload machinery can route to a
+    degraded path or surface backpressure to the submitter.  A handler
+    elsewhere that catches one and does not re-raise converts a deliberate
+    shed/deadline verdict into a silent no-op — the job vanishes from the
+    accounting and the degradation ladder never sees the pressure.  Only
+    the overload package itself (``repro/resilience/``), the budget-aware
+    traverser and the simulator dispatch loop may absorb them."""
+
+    rule_id = "OVL001"
+    summary = "handler swallows an overload-control signal"
+
+    _SIGNALS = (
+        "OverloadError",
+        "AdmissionRejected",
+        "SchedulingDeadlineExceeded",
+    )
+    _ABSORBERS = (
+        "repro/resilience/",
+        "repro/match/traverser.py",
+        "repro/sched/simulator.py",
+    )
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return not any(part in normalized for part in cls._ABSORBERS)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        for name in self._SIGNALS:
+            if _handler_catches(node, name) and not _has_bare_reraise(node):
+                self.report(
+                    node,
+                    f"except {name}: outside the overload machinery must "
+                    "re-raise with a bare `raise`; swallowing it here turns "
+                    "a deliberate admission/deadline verdict into silent "
+                    "job loss",
+                )
+                break
+        self.generic_visit(node)

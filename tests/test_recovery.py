@@ -43,7 +43,7 @@ from repro.recovery import (
     write_snapshot,
 )
 from repro.recovery.journal import Journal, frame_record
-from repro.resilience import InvariantAuditor, RetryPolicy
+from repro.resilience import InvariantAuditor, OverloadConfig, RetryPolicy
 from repro.resource import ResourceGraph
 from repro.resource.jgf import from_jgf, to_jgf
 from repro.sched import ClusterSimulator
@@ -398,8 +398,14 @@ def chaos_sim(seed, recovery_dir=None):
     return sim
 
 
+# admit.* points only fire under admission pressure (overload protection
+# enabled); the overload workload below covers them.
+_BASE_POINTS = tuple(p for p in CRASH_POINTS if not p.startswith("admit."))
+_ADMIT_POINTS = tuple(p for p in CRASH_POINTS if p.startswith("admit."))
+
+
 @pytest.mark.parametrize("seed", [0, 1, 2])
-@pytest.mark.parametrize("point", CRASH_POINTS)
+@pytest.mark.parametrize("point", _BASE_POINTS)
 def test_crash_equivalence(tmp_path, point, seed):
     control = chaos_sim(seed)
     control.run()
@@ -428,6 +434,82 @@ def test_crash_equivalence(tmp_path, point, seed):
     assert report.recoveries == 1
     assert report.journal_replayed > 0
     assert "recovery:" in report.summary()
+
+
+def overload_chaos_sim(seed, recovery_dir=None):
+    """chaos_sim plus admission pressure: tight queue bound, shed policy.
+
+    The same-tick burst with ascending priorities forces the shed path (each
+    wave evicts the weakest queued job), so every ``admit.*`` crash point —
+    including the mid-shed cut between victim cancellation and the
+    admission completing — is actually reached.
+    """
+    graph = tiny_cluster()
+    sim = ClusterSimulator(
+        graph,
+        match_policy="first",
+        queue="easy",
+        retry_policy=RetryPolicy(
+            max_retries=2, backoff_base=30, jitter=0.2, seed=seed
+        ),
+        audit=InvariantAuditor(deep=True),
+        overload=OverloadConfig(
+            max_pending=1,
+            admission_policy="shed",
+            cycle_budget=400,
+            attempt_budget=200,
+            checkpoint_interval=16,
+        ),
+    )
+    if recovery_dir is not None:
+        RecoveryManager(str(recovery_dir), snapshot_every=7).attach(sim)
+    for i in range(10):
+        sim.submit(
+            simple_node_jobspec(cores=4, duration=500),
+            at=40 + seed,
+            priority=i,
+        )
+    for i in range(6):
+        sim.submit(
+            simple_node_jobspec(cores=2, duration=400),
+            at=300 + i * 37,
+            priority=i % 3,
+        )
+    node = next(iter(sim.graph.vertices("node")))
+    sim.schedule_failure(node, at=400)
+    sim.schedule_repair(node, at=900)
+    return sim
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("point", _ADMIT_POINTS)
+def test_overload_crash_equivalence(tmp_path, point, seed):
+    control = overload_chaos_sim(seed)
+    control.run()
+
+    sim = overload_chaos_sim(seed, recovery_dir=tmp_path)
+    CrashInjector(point, nth=2).attach(sim)
+    try:
+        sim.run()
+        crashed = False
+    except SimulatedCrash:
+        crashed = True
+    if not crashed:  # workload never reached this cut point twice: retry 1st
+        sim2 = overload_chaos_sim(seed, recovery_dir=tmp_path / "retry")
+        CrashInjector(point, nth=1).attach(sim2)
+        with pytest.raises(SimulatedCrash):
+            sim2.run()
+        recovered = recover(str(tmp_path / "retry"))
+    else:
+        recovered = recover(str(tmp_path))
+
+    recovered.run()
+    assert recovered.event_log == control.event_log
+    assert state_diff(control, recovered) == []
+    InvariantAuditor(deep=True).check(recovered)
+    report = recovered.report()
+    assert report.overload_enabled
+    assert report.overload_shed > 0
 
 
 class TestRecoveryPath:

@@ -38,7 +38,7 @@ class TestEngine:
     def test_all_rules_registered(self):
         assert set(all_rules()) == {
             "DET001", "EXC001", "FLT001", "MUT001", "JRN001", "API001",
-            "OBS001",
+            "OBS001", "OVL001",
         }
 
     def test_unknown_rule_id_rejected(self):
@@ -404,6 +404,75 @@ class TestOBS001:
         )
         assert rules_hit(src, "src/repro/sched/thing.py",
                          select=["OBS001"]) == []
+
+
+class TestOVL001:
+    def test_swallowed_deadline_flagged(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except SchedulingDeadlineExceeded:\n"
+            "        pass\n"
+        )
+        (v,) = lint_source(src, "src/repro/sched/queue.py",
+                           select=["OVL001"])
+        assert (v.rule, v.line) == ("OVL001", 4)
+        assert "re-raise" in v.message
+
+    def test_admission_and_base_flagged(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except AdmissionRejected:\n"
+            "        return None\n"
+            "    try:\n"
+            "        g()\n"
+            "    except (ValueError, OverloadError):\n"
+            "        log()\n"
+        )
+        vs = lint_source(src, "src/repro/planner/thing.py",
+                         select=["OVL001"])
+        assert [v.line for v in vs] == [4, 8]
+
+    def test_bare_reraise_ok(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except SchedulingDeadlineExceeded:\n"
+            "        cleanup()\n"
+            "        raise\n"
+        )
+        assert rules_hit(src, "src/repro/sched/queue.py",
+                         select=["OVL001"]) == []
+
+    def test_overload_machinery_exempt(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except SchedulingDeadlineExceeded:\n"
+            "        pass\n"
+        )
+        for path in (
+            "src/repro/resilience/overload.py",
+            "src/repro/match/traverser.py",
+            "src/repro/sched/simulator.py",
+        ):
+            assert rules_hit(src, path, select=["OVL001"]) == []
+
+    def test_unrelated_handlers_ok(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )
+        assert rules_hit(src, "src/repro/sched/queue.py",
+                         select=["OVL001"]) == []
 
 
 # ----------------------------------------------------------------------
