@@ -130,3 +130,14 @@ class JournalCorruptError(JournalError):
     silently dropped during recovery; corruption *followed by further valid
     records* means the journal body itself is damaged and recovery must not
     guess."""
+
+
+class IntegrityError(RecoveryError):
+    """Raised by the fluxfsck integrity layer (repro.recovery.integrity).
+
+    Signals live-state corruption that could not be contained: a vertex the
+    repair engine could not bring back to a verified-clean state, or an
+    integrity scan requested against state the scrubber cannot reason about
+    (e.g. an unattached monitor).  Detected-and-repaired drift never raises —
+    it is quarantined, repaired, and accounted in ``integrity.*`` counters.
+    """

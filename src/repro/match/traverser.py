@@ -43,7 +43,86 @@ from .writer import Allocation, Selection
 if False:  # pragma: no cover - annotation-only imports
     from ..resilience.overload import WorkBudget
 
-__all__ = ["Traverser", "Candidate"]
+__all__ = ["Traverser", "Candidate", "exclusive_top_selections", "sdfu_charges"]
+
+
+def exclusive_top_selections(
+    selections: List[Selection], subsystem: str
+) -> List[Selection]:
+    """Exclusive selections not nested under another exclusive selection."""
+    exclusive = [s for s in selections if s.exclusive and not s.passthrough]
+    paths = [s.vertex.path(subsystem) for s in exclusive]
+    tops = []
+    for sel, path in zip(exclusive, paths):
+        nested = any(
+            other is not sel and path.startswith(other_path + "/")
+            for other, other_path in zip(exclusive, paths)
+        )
+        if not nested:
+            tops.append(sel)
+    return tops
+
+
+def sdfu_charges(
+    graph: ResourceGraph, subsystem: str, selections: List[Selection]
+) -> Dict[int, Dict[str, int]]:
+    """Per-ancestor pruning-filter charges for a selection set (§3.4).
+
+    Pure function of the graph and the selections: returns
+    ``{ancestor uniq_id: {type: quantity}}`` in the deterministic order the
+    charges are discovered — the same order :meth:`Traverser._book` books
+    filter spans in.  Shared by SDFU at booking time and by the repair
+    engine, which re-derives what the filters *should* hold from the
+    allocation table alone.  Counts may include non-positive entries; the
+    booking side filters those out.
+    """
+    prune_types = set(graph.prune_types)
+    updates: Dict[int, Dict[str, int]] = {}
+    if not prune_types:
+        return updates
+
+    def charge(vertex: ResourceVertex, counts: Dict[str, int]) -> None:
+        for anc in graph.ancestors(vertex, subsystem):
+            filters = anc.prune_filters
+            if filters is None:
+                continue
+            bucket = updates.setdefault(anc.uniq_id, {})
+            for rtype, qty in counts.items():
+                if filters.tracks(rtype):
+                    bucket[rtype] = bucket.get(rtype, 0) + qty
+
+    explicit = [s for s in selections if not s.passthrough and s.amount]
+    for sel in explicit:
+        if sel.type in prune_types:
+            charge(sel.vertex, {sel.type: sel.amount})
+    # Exclusive subtree extras: a top-level exclusive hold consumes its
+    # whole subtree, so charge subtree totals minus explicit bookings.
+    for sel in exclusive_top_selections(selections, subsystem):
+        vertex = sel.vertex
+        prefix = vertex.path(subsystem) + "/"
+        extras = {
+            t: n
+            for t, n in graph.subtree_totals(vertex, subsystem).items()
+            if t in prune_types
+        }
+        extras[vertex.type] = extras.get(vertex.type, 0) - vertex.size
+        for other in explicit:
+            if other.vertex is vertex:
+                continue
+            if other.vertex.path(subsystem).startswith(prefix):
+                if other.type in extras:
+                    extras[other.type] -= other.amount
+        extras = {t: n for t, n in extras.items() if n > 0}
+        if not extras:
+            continue
+        own = vertex.prune_filters
+        if own is not None:
+            bucket = updates.setdefault(vertex.uniq_id, {})
+            for rtype, qty in extras.items():
+                if own.tracks(rtype):
+                    bucket[rtype] = bucket.get(rtype, 0) + qty
+        charge(vertex, extras)
+    return updates
 
 
 class _StatsView(Mapping):
@@ -824,55 +903,10 @@ class Traverser:
         never recomputing aggregates from the whole graph.  Exclusive
         selections additionally charge their full subtree totals (minus any
         explicitly selected descendants) so filters reflect that the subtree
-        is closed to other jobs.
+        is closed to other jobs.  The charge computation itself lives in
+        :func:`sdfu_charges` so the repair engine can re-derive it.
         """
-        prune_types = set(self.graph.prune_types)
-        if not prune_types:
-            return
-        updates: Dict[int, Dict[str, int]] = {}
-
-        def charge(vertex: ResourceVertex, counts: Dict[str, int]) -> None:
-            for anc in self.graph.ancestors(vertex, self.subsystem):
-                filters = anc.prune_filters
-                if filters is None:
-                    continue
-                bucket = updates.setdefault(anc.uniq_id, {})
-                for rtype, qty in counts.items():
-                    if filters.tracks(rtype):
-                        bucket[rtype] = bucket.get(rtype, 0) + qty
-
-        explicit = [s for s in selections if not s.passthrough and s.amount]
-        for sel in explicit:
-            if sel.type in prune_types:
-                charge(sel.vertex, {sel.type: sel.amount})
-        # Exclusive subtree extras: a top-level exclusive hold consumes its
-        # whole subtree, so charge subtree totals minus explicit bookings.
-        exclusive_tops = self._exclusive_tops(selections)
-        for sel in exclusive_tops:
-            vertex = sel.vertex
-            prefix = vertex.path(self.subsystem) + "/"
-            extras = {
-                t: n
-                for t, n in self.graph.subtree_totals(vertex, self.subsystem).items()
-                if t in prune_types
-            }
-            extras[vertex.type] = extras.get(vertex.type, 0) - vertex.size
-            for other in explicit:
-                if other.vertex is vertex:
-                    continue
-                if other.vertex.path(self.subsystem).startswith(prefix):
-                    if other.type in extras:
-                        extras[other.type] -= other.amount
-            extras = {t: n for t, n in extras.items() if n > 0}
-            if not extras:
-                continue
-            own = vertex.prune_filters
-            if own is not None:
-                bucket = updates.setdefault(vertex.uniq_id, {})
-                for rtype, qty in extras.items():
-                    if own.tracks(rtype):
-                        bucket[rtype] = bucket.get(rtype, 0) + qty
-            charge(vertex, extras)
+        updates = sdfu_charges(self.graph, self.subsystem, selections)
         booked = 0
         for uid, counts in updates.items():
             counts = {t: n for t, n in counts.items() if n > 0}
@@ -886,14 +920,4 @@ class Traverser:
 
     def _exclusive_tops(self, selections: List[Selection]) -> List[Selection]:
         """Exclusive selections not nested under another exclusive selection."""
-        exclusive = [s for s in selections if s.exclusive and not s.passthrough]
-        paths = [s.vertex.path(self.subsystem) for s in exclusive]
-        tops = []
-        for sel, path in zip(exclusive, paths):
-            nested = any(
-                other is not sel and path.startswith(other_path + "/")
-                for other, other_path in zip(exclusive, paths)
-            )
-            if not nested:
-                tops.append(sel)
-        return tops
+        return exclusive_top_selections(selections, self.subsystem)

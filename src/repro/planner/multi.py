@@ -266,6 +266,38 @@ class PlannerMulti:
         for span_id in list(self._spans):
             self.rem_span(span_id)
 
+    def rebuild(self, bundles: Optional[Iterable[dict]] = None) -> int:
+        """Reconstruct per-type point trees (and optionally the registry).
+
+        Corruption-repair support.  With ``bundles=None`` every underlying
+        planner rebuilds its trees from its own span registry (repairs
+        point-tree drift while keeping bookings).  Otherwise ``bundles`` is
+        an iterable of ``{"id", "start", "end", "counts"}`` records that
+        replaces the bundle registry entirely: the underlying planners are
+        wiped and every bundle re-booked through :meth:`add_span`.  Bundle
+        ids are preserved; per-type span ids are freshly assigned.  Neither
+        the bundle nor the per-type auto-id counters move backwards.
+        Returns the number of bundle spans booked.
+        """
+        if bundles is None:
+            for planner in self._planners.values():
+                planner.rebuild()
+            return len(self._spans)
+        records = [dict(record) for record in bundles]
+        next_id = self._next_span_id
+        self._spans = {}
+        for planner in self._planners.values():
+            planner.rebuild(spans=())
+        for record in records:
+            self.add_span(
+                record["start"],
+                record["end"] - record["start"],
+                dict(record["counts"]),
+                span_id=record["id"],
+            )
+        self._next_span_id = max(self._next_span_id, next_id)
+        return len(records)
+
     # ------------------------------------------------------------------
     # state export / import (crash recovery)
     # ------------------------------------------------------------------
@@ -321,6 +353,17 @@ class PlannerMulti:
     def has_span(self, span_id: int) -> bool:
         """True when ``span_id`` names an active bundle span."""
         return span_id in self._spans
+
+    def span_ids(self) -> Tuple[int, ...]:
+        """Active bundle span ids, in booking order."""
+        return tuple(self._spans)
+
+    def get_span(self, span_id: int) -> Dict[str, int]:
+        """The per-type planner span ids booked under bundle ``span_id``."""
+        try:
+            return dict(self._spans[span_id])
+        except KeyError:
+            raise SpanNotFoundError(span_id) from None
 
     def check_invariants(self) -> None:
         for planner in self._planners.values():

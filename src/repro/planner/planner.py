@@ -17,7 +17,7 @@ reservation-based backfilling.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from ..errors import PlannerError, SpanNotFoundError
 from ..obs import runtime as _obs_runtime
@@ -375,6 +375,51 @@ class Planner:
         """Drop all spans, returning the planner to its initial state."""
         for span_id in list(self._spans):
             self.rem_span(span_id)
+
+    def rebuild(self, spans: Optional[Iterable[dict]] = None) -> int:
+        """Reconstruct the point trees (and optionally the span registry).
+
+        Corruption-repair support: discards the scheduled-point/end-time
+        trees outright — without walking them, so a damaged tree cannot
+        make the rebuild fail — and re-books every span from scratch via
+        :meth:`add_span`.  With ``spans=None`` the planner's own span
+        registry is the source of truth (repairs point-tree drift while
+        keeping bookings); otherwise ``spans`` is an iterable of
+        export-format records (``{"id", "start", "end", "request",
+        "metadata"}``) that replaces the registry entirely.  The span set
+        must be feasible (never exceeding the pool at any instant) or
+        :class:`PlannerError` propagates mid-rebuild.  The auto-id counter
+        never moves backwards, so ids handed out after a rebuild cannot
+        collide with ids seen before it.  Returns the span count re-booked.
+        """
+        if spans is None:
+            records = [
+                {
+                    "id": span.span_id,
+                    "start": span.start,
+                    "end": span.end,
+                    "request": span.request,
+                    "metadata": dict(span.metadata),
+                }
+                for span in self._spans.values()
+            ]
+        else:
+            records = [dict(record) for record in spans]
+        next_id = self._next_span_id
+        self._spans = {}
+        self._sp = None
+        self._et = None
+        self._base_point = None
+        for record in records:
+            self.add_span(
+                record["start"],
+                record["end"] - record["start"],
+                record["request"],
+                metadata=dict(record.get("metadata") or {}),
+                span_id=record["id"],
+            )
+        self._next_span_id = max(self._next_span_id, next_id)
+        return len(records)
 
     # ------------------------------------------------------------------
     # state export / import (crash recovery)

@@ -11,22 +11,44 @@ write-ahead journal so *nothing* is lost between snapshots:
   torn-tail detection;
 * :mod:`~repro.recovery.manager` — :class:`RecoveryManager` (journals an
   attached simulator, snapshots periodically) and :func:`recover` (restore
-  newest snapshot + replay journal suffix);
+  newest snapshot + replay journal suffix; ``salvage=True`` trades hard
+  failures on mid-stream damage for bounded, accounted loss);
+* :mod:`~repro.recovery.integrity` — the "fluxfsck" online scrubber:
+  :class:`IntegrityMonitor` cross-checks planner/allocation/graph state
+  against content checksums each cycle, quarantining corrupted vertices;
+* :mod:`~repro.recovery.repair` — :class:`RepairEngine`, the journaled
+  repair actions the scrubber and snapshot salvage both use;
 * :mod:`~repro.recovery.crash` — :class:`CrashInjector` killing the
   scheduler at named cut points, for restart-equivalence testing;
 * :mod:`~repro.recovery.diff` — :func:`state_diff` proving a recovered
   simulator equivalent to an uninterrupted control run.
+
+``python -m repro.recovery fsck <dir>`` is the operator front end: verify
+(and optionally repair) a recovery directory offline.
 
 See ``docs/recovery.md`` for formats and guarantees.
 """
 
 from .crash import CRASH_POINTS, CrashInjector, SimulatedCrash
 from .diff import state_diff, state_fingerprint
-from .journal import Journal, read_journal
+from .integrity import (
+    CORRUPTION_KINDS,
+    Finding,
+    IntegrityConfig,
+    IntegrityMonitor,
+    apply_corruption,
+    corruption_targets,
+    expected_span_table,
+    structure_checksum,
+)
+from .journal import Journal, read_journal, read_journal_salvage
 from .manager import RecoveryManager, recover
+from .repair import RepairEngine
 from .snapshot import (
+    REBUILDABLE_SECTIONS,
     SNAPSHOT_VERSION,
     load_snapshot,
+    load_snapshot_salvage,
     restore_simulator,
     snapshot_state,
     write_snapshot,
@@ -38,12 +60,24 @@ __all__ = [
     "SimulatedCrash",
     "state_diff",
     "state_fingerprint",
+    "CORRUPTION_KINDS",
+    "Finding",
+    "IntegrityConfig",
+    "IntegrityMonitor",
+    "apply_corruption",
+    "corruption_targets",
+    "expected_span_table",
+    "structure_checksum",
+    "RepairEngine",
     "Journal",
     "read_journal",
+    "read_journal_salvage",
     "RecoveryManager",
     "recover",
+    "REBUILDABLE_SECTIONS",
     "SNAPSHOT_VERSION",
     "load_snapshot",
+    "load_snapshot_salvage",
     "restore_simulator",
     "snapshot_state",
     "write_snapshot",

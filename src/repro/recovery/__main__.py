@@ -1,0 +1,217 @@
+"""fluxfsck command line: ``python -m repro.recovery fsck <dir>``.
+
+Offline verification (and optional repair) of a recovery directory — the
+journal plus its snapshots — using the same machinery the online scrubber
+runs per cycle:
+
+* ``--check`` (default): load the newest valid snapshot, replay the journal
+  suffix **read-only** (no file is modified, no snapshot written) and run a
+  full-graph integrity scan.
+* ``--repair``: same load, then drive every finding through the journaled
+  :class:`~repro.recovery.repair.RepairEngine`, re-scan, and persist the
+  repaired state as a fresh snapshot (the journal restarts so the repaired
+  snapshot is the new recovery anchor).
+* ``--salvage``: tolerate mid-stream journal damage and partially valid
+  snapshots (bounded-loss salvage, see :func:`~repro.recovery.manager.
+  recover`); without it damage beyond a torn tail fails the load.
+* ``--json PATH``: machine-readable report (findings, repairs, loss
+  accounting) for CI artifacts.
+
+Exit codes: ``0`` state verifies clean (or repaired clean); ``1`` integrity
+findings remain; ``2`` the directory cannot be loaded at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import FluxionError
+from ..sched.simulator import ClusterSimulator
+from .integrity import Finding, IntegrityMonitor
+from .journal import read_journal, read_journal_salvage
+from .manager import _replay, _snapshot_files, recover
+from .snapshot import load_snapshot, load_snapshot_salvage, restore_simulator
+
+__all__ = ["main"]
+
+
+def _load_readonly(
+    directory: str, salvage: bool
+) -> Tuple[ClusterSimulator, Dict[str, Any]]:
+    """Restore snapshot + journal suffix without touching any file.
+
+    Mirrors :func:`~repro.recovery.manager.recover` minus every side
+    effect: no torn-tail truncation, no journal rewrite, no manager attach,
+    no snapshot write.  Raises :class:`~repro.errors.FluxionError` when the
+    state cannot be loaded.
+    """
+    candidates = _snapshot_files(directory)
+    if not candidates:
+        raise FluxionError(f"no snapshot found in {directory!r}")
+    doc = None
+    salvaged: List[str] = []
+    used = None
+    errors: List[str] = []
+    for path in candidates:
+        try:
+            doc = load_snapshot(path)
+            used = path
+            break
+        except FluxionError as exc:
+            errors.append(str(exc))
+        if salvage:
+            loaded = load_snapshot_salvage(path)
+            if loaded is not None:
+                doc, salvaged = loaded
+                used = path
+                break
+    if doc is None:
+        raise FluxionError(
+            f"no loadable snapshot in {directory!r}: " + "; ".join(errors)
+        )
+    journal_path = os.path.join(directory, "journal.wal")
+    if salvage:
+        records, journal_loss = read_journal_salvage(journal_path)
+    else:
+        records, torn, _ = read_journal(journal_path)
+        journal_loss = {"torn": torn, "crc_skipped": 0, "skipped": []}
+    sim = restore_simulator(doc, salvaged=salvaged)
+    suffix = [r for r in records if r["seq"] > doc["seq"]]
+    dropped = _replay(sim, suffix, salvage=salvage)
+    info = {
+        "snapshot_path": used,
+        "snapshot_sections_rebuilt": list(salvaged),
+        "journal": journal_loss,
+        "replay_dropped": dropped,
+        "records_replayed": len(suffix) - dropped,
+    }
+    return sim, info
+
+
+def _monitor_for(sim: ClusterSimulator) -> IntegrityMonitor:
+    if sim.integrity is not None:
+        return sim.integrity
+    monitor = IntegrityMonitor()
+    monitor.attach(sim)
+    return monitor
+
+
+def _findings_json(findings: List[Finding]) -> List[Dict[str, Any]]:
+    return [finding.to_dict() for finding in findings]
+
+
+def _repair_all(
+    monitor: IntegrityMonitor, findings: List[Finding]
+) -> List[Finding]:
+    """Repair every dirty vertex; returns the findings that remain."""
+    from .integrity import expected_span_table
+
+    sim = monitor.sim
+    by_vertex: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        by_vertex.setdefault(finding.vertex, []).append(finding)
+    expected = expected_span_table(sim)
+    for name, group in sorted(by_vertex.items()):
+        vertex = sim.graph.vertex_by_name(name)
+        monitor._engine.repair_vertex(vertex, group, expected)
+        expected = expected_span_table(sim)
+    return monitor.scan()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.recovery",
+        description="fluxfsck: verify or repair a recovery directory",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    fsck = sub.add_parser("fsck", help="check/repair journal + snapshots")
+    fsck.add_argument("directory", help="recovery directory to inspect")
+    mode = fsck.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--check", action="store_true",
+        help="verify only; never modify any file (default)",
+    )
+    mode.add_argument(
+        "--repair", action="store_true",
+        help="repair findings and write a repaired snapshot",
+    )
+    fsck.add_argument(
+        "--salvage", action="store_true",
+        help="tolerate mid-stream journal/snapshot damage (bounded loss)",
+    )
+    fsck.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write a machine-readable report to PATH ('-' for stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    report: Dict[str, Any] = {
+        "directory": args.directory,
+        "mode": "repair" if args.repair else "check",
+        "salvage": bool(args.salvage),
+    }
+    try:
+        if args.repair:
+            salvage_report: Dict[str, Any] = {}
+            sim = recover(
+                args.directory, salvage=args.salvage,
+                salvage_report=salvage_report,
+            )
+            report["load"] = salvage_report or {
+                "snapshot_sections_rebuilt": [],
+                "replay_dropped": 0,
+            }
+        else:
+            sim, info = _load_readonly(args.directory, args.salvage)
+            report["load"] = info
+    except FluxionError as exc:
+        report["error"] = str(exc)
+        _emit(args.json, report)
+        print(f"fluxfsck: cannot load {args.directory!r}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    monitor = _monitor_for(sim)
+    findings = monitor.scan()
+    report["findings"] = _findings_json(findings)
+    exit_code = 0
+    if findings and args.repair:
+        residual = _repair_all(monitor, findings)
+        report["residual"] = _findings_json(residual)
+        exit_code = 1 if residual else 0
+        if sim.recovery is not None:
+            # Persist the repaired state as the new recovery anchor.
+            sim.recovery.snapshot()
+    elif findings:
+        exit_code = 1
+    if args.repair and sim.recovery is not None:
+        sim.recovery.close()
+
+    verdict = "clean" if exit_code == 0 else "dirty"
+    repaired = len(findings) - len(report.get("residual", findings))
+    print(
+        f"fluxfsck: {args.directory}: {verdict} "
+        f"({len(findings)} finding(s), {repaired} repaired)"
+    )
+    report["exit"] = exit_code
+    _emit(args.json, report)
+    return exit_code
+
+
+def _emit(dest: Optional[str], report: Dict[str, Any]) -> None:
+    if dest is None:
+        return
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if dest == "-":
+        print(payload)
+    else:
+        with open(dest, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

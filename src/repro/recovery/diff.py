@@ -104,6 +104,10 @@ def state_fingerprint(sim: ClusterSimulator) -> Dict[str, Any]:
         "overload": (
             None if sim.overload is None else sim.overload.export_state()
         ),
+        # Scrub cursor and quarantine set steer future integrity decisions.
+        "integrity": (
+            None if sim.integrity is None else sim.integrity.export_state()
+        ),
     }
 
 

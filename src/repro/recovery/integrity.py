@@ -1,0 +1,675 @@
+"""Online state-integrity scrubbing and corruption quarantine ("fluxfsck").
+
+Long-running scheduler instances accumulate three families of state that
+must stay mutually consistent: the resource graph (vertex structure and
+status), the planner layer (span registries and scheduled-point trees) and
+the allocation/queue layer (who holds what, and when).  A bit-flip or a
+logic bug in any one of them silently poisons future placement decisions
+long before a snapshot or restart would surface it.
+
+This module provides the *detection and containment* half of the fluxfsck
+subsystem (repairs live in :mod:`repro.recovery.repair`):
+
+* :class:`IntegrityMonitor` — an online scrubber that walks a rotating
+  window of vertices each scheduling cycle under a deterministic
+  :class:`~repro.resilience.overload.WorkBudget`, cross-checking each
+  vertex's structure against a content checksum taken at attach time and
+  its planners against what the live allocation table says they *should*
+  hold.  Drift is quarantined (the vertex is drained so matching skips it),
+  repaired through the journaled repair engine, and re-verified — all
+  within the same cycle, before the end-of-cycle auditor runs.
+* :func:`expected_span_table` — the ground truth derivation: every live
+  allocation's plans/xplans/filter spans recomputed from its selections
+  via the same :func:`~repro.match.traverser.sdfu_charges` logic SDFU used
+  to book them.
+* :func:`apply_corruption` — a seeded, deterministic corruption injector
+  used by the chaos harness and by :meth:`ClusterSimulator.inject_corruption`
+  (which journals the injection as a replayable command, so crash-recovery
+  replay re-corrupts and re-repairs identically).
+
+Everything the scrubber decides is a pure function of simulator state plus
+its own exported cursor/counters, so dual runs and journal replays converge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..errors import FluxionError, IntegrityError, SchedulingDeadlineExceeded
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..resource import ResourceVertex
+    from ..sched.simulator import ClusterSimulator
+
+__all__ = [
+    "IntegrityConfig",
+    "IntegrityMonitor",
+    "Finding",
+    "apply_corruption",
+    "corruption_targets",
+    "expected_span_table",
+    "structure_checksum",
+    "vertex_structure",
+]
+
+#: planner kinds a vertex can carry, in scan order
+_PLANNER_KINDS = ("plans", "xplans", "filter")
+
+#: live-corruption kinds understood by :func:`apply_corruption`
+CORRUPTION_KINDS = ("span", "point", "aggregate", "structure")
+
+
+# ----------------------------------------------------------------------
+# content checksums
+# ----------------------------------------------------------------------
+def vertex_structure(vertex: "ResourceVertex") -> dict:
+    """The structural (mid-run immutable) fields of a vertex, JSON-able."""
+    return {
+        "type": vertex.type,
+        "basename": vertex.basename,
+        "id": vertex.id,
+        "size": vertex.size,
+        "unit": vertex.unit,
+        "rank": vertex.rank,
+        "properties": dict(vertex.properties),
+        "paths": dict(vertex.paths),
+    }
+
+
+def structure_checksum(vertex: "ResourceVertex") -> str:
+    """sha256 over the canonical JSON of :func:`vertex_structure`."""
+    blob = json.dumps(
+        vertex_structure(vertex), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# ground truth: what the planners should hold, per the allocation table
+# ----------------------------------------------------------------------
+def expected_span_table(
+    sim: "ClusterSimulator",
+) -> Dict[Tuple[str, str], Dict[int, dict]]:
+    """Re-derive every planner's expected bookings from live allocations.
+
+    Returns ``{(vertex name, planner kind): {span id: expectation}}``.
+    Plans/xplans expectations carry ``{"start", "end", "request"}``; filter
+    expectations carry ``{"start", "end", "counts"}`` with the per-type
+    charges recomputed through :func:`~repro.match.traverser.sdfu_charges`
+    — the exact function SDFU booked them with, so a clean instance always
+    matches its own table.
+    """
+    from ..match.traverser import sdfu_charges
+    from ..match.writer import planner_owner_index
+    from ..resource.vertex import X_LIMIT
+
+    owners = planner_owner_index(sim.graph)
+    by_name = {v.name: v for v in sim.graph.vertices()}
+    table: Dict[Tuple[str, str], Dict[int, dict]] = {}
+    subsystem = sim.traverser.subsystem
+    for alloc in sim.traverser.allocations.values():
+        sel_by_name = {sel.vertex.name: sel for sel in alloc.selections}
+        charges = sdfu_charges(sim.graph, subsystem, alloc.selections)
+        for planner, span_id in alloc._span_records:
+            owner = owners.get(id(planner))
+            if owner is None:
+                continue
+            name, kind = owner
+            sel = sel_by_name.get(name)
+            if kind == "plans":
+                want = {
+                    "start": alloc.at,
+                    "end": alloc.end,
+                    "request": sel.amount if sel is not None else 0,
+                }
+            elif kind == "xplans":
+                level = X_LIMIT if (sel is not None and sel.exclusive) else 1
+                want = {"start": alloc.at, "end": alloc.end, "request": level}
+            else:  # filter bundle
+                vertex = by_name[name]
+                counts = {
+                    rtype: qty
+                    for rtype, qty in charges.get(vertex.uniq_id, {}).items()
+                    if qty > 0
+                }
+                want = {"start": alloc.at, "end": alloc.end, "counts": counts}
+            table.setdefault((name, kind), {})[span_id] = want
+    return table
+
+
+# ----------------------------------------------------------------------
+# findings
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Finding:
+    """One detected inconsistency on one vertex."""
+
+    vertex: str
+    kind: str  # structure | span-missing | span-drift | span-orphan | tree-drift
+    planner: Optional[str]  # plans | xplans | filter | None (structure)
+    detail: str
+
+    def to_dict(self) -> dict:
+        """JSON-able form (fsck reports, chaos artifacts)."""
+        return {
+            "vertex": self.vertex,
+            "kind": self.kind,
+            "planner": self.planner,
+            "detail": self.detail,
+        }
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+@dataclass
+class IntegrityConfig:
+    """Tuning for the online scrubber.
+
+    scrub_window:
+        Vertices examined per scrub pass (None = the whole graph every
+        pass).  The cursor rotates so every vertex is eventually covered.
+    scrub_every:
+        Run a scrub pass every N scheduling cycles (1 = every cycle).
+    scrub_budget:
+        Work-unit ceiling for one pass (a vertex or a span examined is one
+        unit), enforced through a
+        :class:`~repro.resilience.overload.WorkBudget`; None = unbounded.
+    checkpoint_interval:
+        Budget checkpoint cadence (see WorkBudget).
+    auto_repair:
+        Repair-and-release quarantined vertices within the same pass.  When
+        False the scrubber only detects and drains — operator tooling
+        (``python -m repro.recovery fsck --repair``) finishes the job.
+    check_orphans:
+        Flag planner spans no live allocation accounts for.  Disable when
+        external bookers (e.g. capacity schedules) legitimately hold spans.
+    """
+
+    scrub_window: Optional[int] = 8
+    scrub_every: int = 1
+    scrub_budget: Optional[int] = None
+    checkpoint_interval: int = 32
+    auto_repair: bool = True
+    check_orphans: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scrub_window is not None and self.scrub_window < 1:
+            raise IntegrityError(
+                f"scrub_window must be >= 1, got {self.scrub_window}"
+            )
+        if self.scrub_every < 1:
+            raise IntegrityError(
+                f"scrub_every must be >= 1, got {self.scrub_every}"
+            )
+        if self.scrub_budget is not None and self.scrub_budget < 1:
+            raise IntegrityError(
+                f"scrub_budget must be >= 1, got {self.scrub_budget}"
+            )
+        if self.checkpoint_interval < 1:
+            raise IntegrityError(
+                f"checkpoint_interval must be >= 1, "
+                f"got {self.checkpoint_interval}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-able form (snapshot / chaos reproducer serialisation)."""
+        return {
+            "scrub_window": self.scrub_window,
+            "scrub_every": self.scrub_every,
+            "scrub_budget": self.scrub_budget,
+            "checkpoint_interval": self.checkpoint_interval,
+            "auto_repair": self.auto_repair,
+            "check_orphans": self.check_orphans,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IntegrityConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# the monitor
+# ----------------------------------------------------------------------
+class IntegrityMonitor:
+    """Per-cycle incremental verifier + quarantine coordinator.
+
+    Attach to a :class:`~repro.sched.simulator.ClusterSimulator` (the
+    ``integrity=`` constructor parameter does this); the simulator calls
+    :meth:`scrub_cycle` at the start of every scheduling cycle, *before*
+    matching, so corrupted vertices are drained or repaired before any
+    placement decision can read them and before the end-of-cycle auditor
+    runs.
+    """
+
+    def __init__(self, config: Optional[IntegrityConfig] = None) -> None:
+        self.config = config or IntegrityConfig()
+        self.sim: Optional["ClusterSimulator"] = None
+        self.cursor = 0
+        self.cycles_seen = 0
+        self.quarantined: Dict[str, str] = {}
+        self.counters: Dict[str, int] = {
+            "scrub_passes": 0,
+            "scrubbed_vertices": 0,
+            "detected": 0,
+            "quarantined": 0,
+            "repaired": 0,
+            "unrepaired": 0,
+            "repair_actions": 0,
+            "jobs_requeued": 0,
+        }
+        self._baseline: Dict[str, dict] = {}
+        self._engine = None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, sim: "ClusterSimulator") -> None:
+        """Bind to a simulator and take structural baselines."""
+        from .repair import RepairEngine
+
+        self.sim = sim
+        self._engine = RepairEngine(sim, monitor=self)
+        self.rebaseline()
+
+    def rebaseline(self) -> None:
+        """(Re)capture per-vertex structural checksums from the live graph.
+
+        Called at attach and after restores; intentional structural changes
+        (elastic grow/shrink) should re-call this so the scrubber does not
+        flag them as drift.
+        """
+        sim = self.sim
+        if sim is None:
+            raise IntegrityError("monitor is not attached to a simulator")
+        self._baseline = {
+            vertex.name: {
+                "checksum": structure_checksum(vertex),
+                "structure": vertex_structure(vertex),
+            }
+            for vertex in sim.graph.vertices()
+        }
+
+    def baseline_structure(self, vertex: "ResourceVertex") -> Optional[dict]:
+        """The attach-time structural fields for ``vertex`` (None = unknown)."""
+        base = self._baseline.get(vertex.name)
+        return None if base is None else dict(base["structure"])
+
+    # ------------------------------------------------------------------
+    # scanning
+    # ------------------------------------------------------------------
+    def scan_vertex(
+        self,
+        vertex: "ResourceVertex",
+        expected: Dict[Tuple[str, str], Dict[int, dict]],
+        budget: Optional[object] = None,
+    ) -> List[Finding]:
+        """Cross-check one vertex; returns findings (empty = clean)."""
+        findings: List[Finding] = []
+        name = vertex.name
+        if budget is not None:
+            budget.charge()
+        base = self._baseline.get(name)
+        if base is not None and structure_checksum(vertex) != base["checksum"]:
+            findings.append(
+                Finding(name, "structure", None, "content checksum mismatch")
+            )
+        for pkind in ("plans", "xplans"):
+            planner = getattr(vertex, pkind)
+            want = expected.get((name, pkind), {})
+            have = {}
+            for span in planner.spans():
+                if budget is not None:
+                    budget.charge()
+                have[span.span_id] = span
+            for sid in sorted(want):
+                exp = want[sid]
+                span = have.pop(sid, None)
+                if span is None:
+                    findings.append(
+                        Finding(
+                            name, "span-missing", pkind,
+                            f"span {sid} absent (want "
+                            f"{exp['request']}x[{exp['start']},{exp['end']}))",
+                        )
+                    )
+                elif (span.start, span.end, span.request) != (
+                    exp["start"], exp["end"], exp["request"]
+                ):
+                    findings.append(
+                        Finding(
+                            name, "span-drift", pkind,
+                            f"span {sid}: have {span.request}x"
+                            f"[{span.start},{span.end}), want "
+                            f"{exp['request']}x[{exp['start']},{exp['end']})",
+                        )
+                    )
+            if have and self.config.check_orphans:
+                findings.append(
+                    Finding(
+                        name, "span-orphan", pkind,
+                        f"unreferenced spans {sorted(have)}",
+                    )
+                )
+            try:
+                planner.check_invariants()
+            except (AssertionError, FluxionError) as exc:
+                findings.append(Finding(name, "tree-drift", pkind, repr(exc)))
+        filters = vertex.prune_filters
+        if filters is not None:
+            findings.extend(
+                self._scan_filter(vertex, filters, expected, budget)
+            )
+        return findings
+
+    def _scan_filter(
+        self,
+        vertex: "ResourceVertex",
+        filters: object,
+        expected: Dict[Tuple[str, str], Dict[int, dict]],
+        budget: Optional[object],
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        name = vertex.name
+        want = expected.get((name, "filter"), {})
+        have_ids = set(filters.span_ids())
+        for sid in sorted(want):
+            exp = want[sid]
+            if budget is not None:
+                budget.charge()
+            if sid not in have_ids:
+                findings.append(
+                    Finding(
+                        name, "span-missing", "filter",
+                        f"bundle {sid} absent (want {exp['counts']})",
+                    )
+                )
+                continue
+            have_ids.discard(sid)
+            actual: Dict[str, int] = {}
+            drift: List[str] = []
+            try:
+                for rtype, per_sid in sorted(filters.get_span(sid).items()):
+                    span = filters.planner(rtype).get_span(per_sid)
+                    actual[rtype] = span.request
+                    if (span.start, span.end) != (exp["start"], exp["end"]):
+                        drift.append(
+                            f"{rtype} window [{span.start},{span.end})"
+                        )
+            except FluxionError as exc:
+                drift.append(repr(exc))
+            if drift or actual != exp["counts"]:
+                findings.append(
+                    Finding(
+                        name, "span-drift", "filter",
+                        f"bundle {sid}: have {actual} {';'.join(drift)}, "
+                        f"want {exp['counts']}x"
+                        f"[{exp['start']},{exp['end']})",
+                    )
+                )
+        if have_ids and self.config.check_orphans:
+            findings.append(
+                Finding(
+                    name, "span-orphan", "filter",
+                    f"unreferenced bundles {sorted(have_ids)}",
+                )
+            )
+        try:
+            filters.check_invariants()
+        except (AssertionError, FluxionError) as exc:
+            findings.append(Finding(name, "tree-drift", "filter", repr(exc)))
+        return findings
+
+    def scan(self) -> List[Finding]:
+        """Full-graph unbudgeted scan (fsck / test support)."""
+        sim = self.sim
+        if sim is None:
+            raise IntegrityError("monitor is not attached to a simulator")
+        expected = expected_span_table(sim)
+        findings: List[Finding] = []
+        for vertex in sorted(sim.graph.vertices(), key=lambda v: v.name):
+            findings.extend(self.scan_vertex(vertex, expected))
+        return findings
+
+    # ------------------------------------------------------------------
+    # the per-cycle scrub pass
+    # ------------------------------------------------------------------
+    def scrub_cycle(self) -> None:
+        """One budgeted scrub pass: detect, quarantine, repair, release.
+
+        Invoked by the simulator at the head of every scheduling cycle.
+        Deterministic given simulator state + the monitor's cursor, so
+        journal replay regenerates every quarantine/repair decision.
+        """
+        from ..resilience.overload import WorkBudget
+
+        sim = self.sim
+        if sim is None:
+            return
+        self.cycles_seen += 1
+        if (self.cycles_seen - 1) % self.config.scrub_every:
+            return
+        ordered = sorted(sim.graph.vertices(), key=lambda v: v.name)
+        if not ordered:
+            return
+        window = self.config.scrub_window or len(ordered)
+        window = min(window, len(ordered))
+        budget = WorkBudget(
+            cycle_limit=self.config.scrub_budget,
+            checkpoint_interval=self.config.checkpoint_interval,
+        )
+        expected = expected_span_table(sim)
+        dirty: List[Tuple["ResourceVertex", List[Finding]]] = []
+        scanned = 0
+        try:
+            for i in range(window):
+                vertex = ordered[(self.cursor + i) % len(ordered)]
+                findings = self.scan_vertex(vertex, expected, budget)
+                scanned += 1
+                if findings:
+                    dirty.append((vertex, findings))
+        except SchedulingDeadlineExceeded:
+            # Budget exhausted: the cursor only advances past what was
+            # actually scanned, so the next pass resumes exactly here.
+            pass
+        finally:
+            budget.finish()
+        self.cursor = (self.cursor + scanned) % len(ordered)
+        self.counters["scrub_passes"] += 1
+        self.counters["scrubbed_vertices"] += scanned
+        self._obs_count("integrity.scrubbed", scanned)
+        for vertex, findings in dirty:
+            self._handle_dirty(vertex, findings, expected)
+
+    def _handle_dirty(
+        self,
+        vertex: "ResourceVertex",
+        findings: List[Finding],
+        expected: Dict[Tuple[str, str], Dict[int, dict]],
+    ) -> None:
+        sim = self.sim
+        name = vertex.name
+        kinds = sorted({f.kind for f in findings})
+        self._journal(
+            "integrity_detect", vertex=name, kinds=kinds,
+            findings=len(findings),
+        )
+        self.counters["detected"] += len(findings)
+        self._obs_count("integrity.detected", len(findings))
+        was_up = vertex.status == "up"
+        if was_up:
+            # Drain: matching skips the subtree while it is untrusted.
+            sim.graph.mark_down(vertex)
+        if name not in self.quarantined:
+            self.counters["quarantined"] += 1
+            self._obs_count("integrity.quarantined")
+        self.quarantined[name] = ",".join(kinds)
+        if sim.obs.enabled:
+            sim.obs.tracer.instant(
+                "integrity.quarantine", "integrity",
+                vt=float(sim.now), vertex=name, kinds=",".join(kinds),
+            )
+        if not self.config.auto_repair:
+            return
+        actions = self._engine.repair_vertex(vertex, findings, expected)
+        self.counters["repair_actions"] += len(actions)
+        residual = self.scan_vertex(vertex, expected_span_table(sim))
+        if not residual:
+            self._release(vertex, was_up, actions)
+            return
+        # Last resort: shed everything the vertex carries, then retry once.
+        requeued = self._engine.evacuate_vertex(vertex)
+        self.counters["jobs_requeued"] += requeued
+        self._obs_count("integrity.jobs_requeued", requeued)
+        actions = self._engine.repair_vertex(
+            vertex, residual, expected_span_table(sim)
+        )
+        self.counters["repair_actions"] += len(actions)
+        if not self.scan_vertex(vertex, expected_span_table(sim)):
+            self._release(vertex, was_up, actions)
+        else:
+            self.counters["unrepaired"] += 1
+            self._obs_count("integrity.unrepaired")
+            self._journal("integrity_unrepaired", vertex=name)
+
+    def _release(
+        self, vertex: "ResourceVertex", was_up: bool, actions: List[str]
+    ) -> None:
+        sim = self.sim
+        name = vertex.name
+        self._journal("integrity_repair", vertex=name, actions=actions)
+        if was_up and vertex.status == "down":
+            sim.graph.mark_up(vertex)
+        self.quarantined.pop(name, None)
+        self.counters["repaired"] += 1
+        self._obs_count("integrity.repaired")
+        if sim.obs.enabled:
+            sim.obs.tracer.instant(
+                "integrity.repair", "integrity",
+                vt=float(sim.now), vertex=name, actions=",".join(actions),
+            )
+
+    # ------------------------------------------------------------------
+    # journal / metrics plumbing
+    # ------------------------------------------------------------------
+    def _journal(self, kind: str, **fields: object) -> None:
+        sim = self.sim
+        if sim is None:
+            return
+        record = {"type": kind, "at": sim.now}
+        record.update(fields)
+        sim._journal(record)
+
+    def _obs_count(self, name: str, amount: int = 1) -> None:
+        sim = self.sim
+        if sim is not None and sim.obs.enabled and amount:
+            sim.obs.metrics.counter(name, "state-integrity events").inc(amount)
+
+    # ------------------------------------------------------------------
+    # snapshot state (crash recovery)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Dynamic scrubber state for snapshots and fingerprints."""
+        return {
+            "cursor": self.cursor,
+            "cycles_seen": self.cycles_seen,
+            "quarantined": dict(sorted(self.quarantined.items())),
+            "counters": dict(self.counters),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore :meth:`export_state` output (after :meth:`attach`)."""
+        self.cursor = int(state["cursor"])
+        self.cycles_seen = int(state["cycles_seen"])
+        self.quarantined = {
+            str(k): str(v) for k, v in state["quarantined"].items()
+        }
+        self.counters.update(state["counters"])
+
+
+# ----------------------------------------------------------------------
+# seeded corruption injection (chaos / test support)
+# ----------------------------------------------------------------------
+def corruption_targets(sim: "ClusterSimulator", kind: str) -> List[str]:
+    """Vertex names where :func:`apply_corruption` would have an effect."""
+    names: List[str] = []
+    for vertex in sorted(sim.graph.vertices(), key=lambda v: v.name):
+        if kind == "structure":
+            names.append(vertex.name)
+        elif kind in ("span", "point"):
+            if vertex.plans.span_count:
+                names.append(vertex.name)
+        elif kind == "aggregate":
+            filters = vertex.prune_filters
+            if filters is not None and any(
+                filters.planner(t)._sp is not None for t in filters.types
+            ):
+                names.append(vertex.name)
+        else:
+            raise IntegrityError(f"unknown corruption kind: {kind!r}")
+    return names
+
+
+def apply_corruption(
+    sim: "ClusterSimulator", vertex: "ResourceVertex", kind: str, salt: int = 0
+) -> bool:
+    """Deterministically damage live state on ``vertex`` (test hook).
+
+    Kinds: ``span`` tampers a plans span-registry window; ``point`` bumps a
+    plans scheduled-point's usage; ``aggregate`` bumps a pruning-filter
+    point's usage (the paper's aggregate DFU data); ``structure`` perturbs
+    the vertex ``size`` field.  The damage is a pure function of
+    ``(vertex name, kind, salt)`` so journal replay re-applies it exactly.
+    Returns False (and changes nothing) when the vertex has no state of the
+    requested kind — keeping a journaled no-op replayable as a no-op.
+    """
+    rng = random.Random(salt ^ zlib.crc32(vertex.name.encode("utf-8")))
+    if kind == "span":
+        registry = vertex.plans._spans
+        if not registry:
+            return False
+        from dataclasses import replace as _replace
+
+        sid = sorted(registry)[rng.randrange(len(registry))]
+        span = registry[sid]
+        registry[sid] = _replace(span, end=span.end + 1 + rng.randrange(7))
+        return True
+    if kind in ("point", "aggregate"):
+        if kind == "point":
+            planner = vertex.plans
+        else:
+            filters = vertex.prune_filters
+            if filters is None:
+                return False
+            candidates = [
+                t
+                for t in filters.types
+                if filters.planner(t)._sp is not None
+            ]
+            if not candidates:
+                return False
+            planner = filters.planner(
+                candidates[rng.randrange(len(candidates))]
+            )
+        if planner._sp is None:
+            return False
+        points = list(planner._sp)
+        point = points[rng.randrange(len(points))]
+        delta = 1 + rng.randrange(3)
+        # Re-key the end-time tree around the mutation so the trees stay
+        # structurally valid: only the usage *values* are corrupted.
+        planner._et.remove(point)
+        point.in_use += delta
+        point.remaining -= delta
+        planner._et.insert(point)
+        return True
+    if kind == "structure":
+        vertex.size += 1 + rng.randrange(3)
+        return True
+    raise IntegrityError(f"unknown corruption kind: {kind!r}")

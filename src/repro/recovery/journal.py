@@ -24,7 +24,13 @@ from typing import Any, Dict, List, Tuple
 
 from ..errors import JournalCorruptError, JournalError
 
-__all__ = ["Journal", "read_journal", "append_record", "frame_record"]
+__all__ = [
+    "Journal",
+    "read_journal",
+    "read_journal_salvage",
+    "append_record",
+    "frame_record",
+]
 
 
 def frame_record(seq: int, record: Dict[str, Any]) -> bytes:
@@ -102,6 +108,69 @@ def read_journal(path: str) -> Tuple[List[Dict[str, Any]], int, int]:
         offset += len(line) + 1
         valid_bytes = offset
     return records, torn, valid_bytes
+
+
+def read_journal_salvage(
+    path: str,
+) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+    """Best-effort read for a journal :func:`read_journal` refuses.
+
+    Bounded-loss salvage: every undamaged record is kept, every damaged one
+    is skipped *and accounted*.  Returns ``(records, loss_report)`` where the
+    report is::
+
+        {"crc_skipped": int,      # mid-stream records dropped
+         "skipped": [{"offset", "reason"}, ...],
+         "torn": 0 | 1,           # unterminated trailing record
+         "valid_bytes": int,      # end of the last valid record
+         "records": int}          # records returned
+
+    Sequence numbers must be strictly increasing but may have gaps (a
+    skipped record leaves one); a non-increasing sequence is treated as
+    damage and skipped too.  ``valid_bytes`` is reporting only — with
+    mid-stream skips the prefix below it still contains damage, so salvage
+    recovery rewrites the journal rather than truncating to it.
+    """
+    report: Dict[str, Any] = {
+        "crc_skipped": 0,
+        "skipped": [],
+        "torn": 0,
+        "valid_bytes": 0,
+        "records": 0,
+    }
+    records: List[Dict[str, Any]] = []
+    if not os.path.exists(path):
+        return records, report
+    with open(path, "rb") as handle:
+        data = handle.read()
+    lines = data.split(b"\n")
+    offset = 0
+    last_seq = 0
+    for index, line in enumerate(lines):
+        terminated = index < len(lines) - 1
+        if not terminated:
+            if line != b"":
+                report["torn"] = 1
+            break
+        try:
+            seq, record = _parse_line(line)
+            if seq <= last_seq:
+                raise ValueError(
+                    f"non-increasing sequence {last_seq} -> {seq}"
+                )
+        except ValueError as exc:
+            report["crc_skipped"] += 1
+            report["skipped"].append(
+                {"offset": offset, "reason": str(exc)}
+            )
+        else:
+            record["seq"] = seq
+            records.append(record)
+            last_seq = seq
+            report["valid_bytes"] = offset + len(line) + 1
+        offset += len(line) + 1
+    report["records"] = len(records)
+    return records, report
 
 
 def append_record(path: str, seq: int, record: Dict[str, Any]) -> None:

@@ -18,18 +18,21 @@ stopped.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
+import json
 import os
 from typing import Any, Dict, List, Optional
 
-from ..errors import RecoveryError, SnapshotError
+from ..errors import FluxionError, RecoveryError, SnapshotError
 from ..jobspec import parse_jobspec
 from ..obs import WallTimer
 from ..sched.job import CancelReason
 from ..sched.simulator import _FAIL, _REPAIR, ClusterSimulator
-from .journal import Journal, read_journal
+from .journal import Journal, read_journal, read_journal_salvage
 from .snapshot import (
     load_snapshot,
+    load_snapshot_salvage,
     restore_simulator,
     snapshot_state,
     write_snapshot,
@@ -219,24 +222,44 @@ class RecoveryManager:
 # ----------------------------------------------------------------------
 # recovery
 # ----------------------------------------------------------------------
+def _fingerprint_digest(sim: ClusterSimulator) -> str:
+    """SHA-256 over the logical state fingerprint (divergence forensics)."""
+    from .diff import state_fingerprint
+
+    payload = json.dumps(
+        state_fingerprint(sim), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _note_divergence(sim: ClusterSimulator) -> None:
+    sim.recovery_stats["replay_divergences"] += 1
+    if sim.obs.enabled:
+        sim.obs.metrics.counter(
+            "replay.divergences", "replayed dispatches not matching journal"
+        ).inc()
+
+
 def _replay_dispatch(sim: ClusterSimulator, record: Dict[str, Any]) -> None:
     """Re-execute one journaled event dispatch, verifying determinism."""
     if not sim._events:
+        _note_divergence(sim)
         raise RecoveryError(
             f"journal record {record['seq']}: dispatch with an empty "
-            "event heap"
+            "event heap (replaying state fingerprint "
+            f"sha256:{_fingerprint_digest(sim)})"
         )
     when, kind, eseq, ref, data = sim._events[0]
     ref_name = sim.graph.vertex(ref).name if kind in (_FAIL, _REPAIR) else ref
     expected = (record["when"], record["kind"], record["ref"], record["data"])
-    if (when, kind, ref_name, data) != expected:
-        if sim.obs.enabled:
-            sim.obs.metrics.counter(
-                "replay.divergences", "replayed dispatches not matching journal"
-            ).inc()
+    observed = (when, kind, ref_name, data)
+    if observed != expected:
+        _note_divergence(sim)
         raise RecoveryError(
-            f"journal record {record['seq']}: replay divergence — heap top "
-            f"{(when, kind, ref_name, data)!r} != journaled {expected!r}"
+            f"journal record {record['seq']}: replay divergence — "
+            f"expected (journaled) {expected!r}, observed (heap top) "
+            f"{observed!r}; replaying state fingerprint "
+            f"sha256:{_fingerprint_digest(sim)}"
         )
     heapq.heappop(sim._events)
     sim._applying += 1
@@ -246,57 +269,86 @@ def _replay_dispatch(sim: ClusterSimulator, record: Dict[str, Any]) -> None:
         sim._applying -= 1
 
 
-def _replay(sim: ClusterSimulator, records: List[Dict[str, Any]]) -> None:
+def _replay(
+    sim: ClusterSimulator,
+    records: List[Dict[str, Any]],
+    salvage: bool = False,
+) -> int:
     """Deterministically re-execute the journal suffix on ``sim``.
 
     Only *commands* re-execute; records flagged ``internal`` and the
     ``alloc``/``alloc_rm`` effects are regenerated by the commands that
-    originally produced them.
+    originally produced them.  In ``salvage`` mode the journal may have
+    damage-induced gaps, so the first record that cannot re-execute (replay
+    divergence, missing referent) *stops* replay instead of raising; the
+    record and everything after it are dropped.  Returns the number of
+    records dropped this way (always 0 when not salvaging).
     """
     by_name = {v.name: v for v in sim.graph.vertices()}
     observed = sim.obs.enabled
     sim._replaying = True
     try:
-        for record in records:
+        for index, record in enumerate(records):
+            try:
+                _replay_record(sim, record, by_name)
+            except (FluxionError, KeyError):
+                if not salvage:
+                    raise
+                # Loss is bounded and accounted: everything up to here
+                # replayed cleanly; the remainder is dropped and counted.
+                return len(records) - index
             sim.recovery_stats["journal_replayed"] += 1
             if observed:
                 sim.obs.metrics.counter(
                     "replay.records", "journal records consumed during replay"
                 ).inc()
-            rtype = record["type"]
-            if record.get("internal") or rtype in ("alloc", "alloc_rm"):
-                continue
-            if rtype == "submit":
-                sim.submit(
-                    parse_jobspec(record["jobspec"]),
-                    at=record["at"],
-                    name=record["name"],
-                    priority=record["priority"],
-                    actual_duration=record["actual_duration"],
-                )
-            elif rtype == "cancel":
-                sim.cancel(
-                    sim.jobs[record["job_id"]],
-                    reason=CancelReason(record["reason"]),
-                )
-            elif rtype == "sched_fail":
-                sim.schedule_failure(by_name[record["vertex"]], record["at"])
-            elif rtype == "sched_repair":
-                sim.schedule_repair(by_name[record["vertex"]], record["at"])
-            elif rtype == "fail":
-                sim.fail(by_name[record["vertex"]], resubmit=record["resubmit"])
-            elif rtype == "repair":
-                sim.repair(by_name[record["vertex"]])
-            elif rtype == "reschedule":
-                sim.reschedule()
-            elif rtype == "dispatch":
-                _replay_dispatch(sim, record)
-            else:
-                raise RecoveryError(
-                    f"journal record {record['seq']}: unknown type {rtype!r}"
-                )
     finally:
         sim._replaying = False
+    return 0
+
+
+def _replay_record(
+    sim: ClusterSimulator,
+    record: Dict[str, Any],
+    by_name: Dict[str, Any],
+) -> None:
+    """Re-execute a single journal record (see :func:`_replay`)."""
+    rtype = record["type"]
+    if record.get("internal") or rtype in ("alloc", "alloc_rm"):
+        return
+    if rtype == "submit":
+        sim.submit(
+            parse_jobspec(record["jobspec"]),
+            at=record["at"],
+            name=record["name"],
+            priority=record["priority"],
+            actual_duration=record["actual_duration"],
+        )
+    elif rtype == "cancel":
+        sim.cancel(
+            sim.jobs[record["job_id"]],
+            reason=CancelReason(record["reason"]),
+        )
+    elif rtype == "sched_fail":
+        sim.schedule_failure(by_name[record["vertex"]], record["at"])
+    elif rtype == "sched_repair":
+        sim.schedule_repair(by_name[record["vertex"]], record["at"])
+    elif rtype == "fail":
+        sim.fail(by_name[record["vertex"]], resubmit=record["resubmit"])
+    elif rtype == "repair":
+        sim.repair(by_name[record["vertex"]])
+    elif rtype == "reschedule":
+        sim.reschedule()
+    elif rtype == "corrupt":
+        sim.inject_corruption(
+            record["kind"], by_name[record["vertex"]], record["salt"]
+        )
+    elif rtype == "dispatch":
+        _replay_dispatch(sim, record)
+    else:
+        raise RecoveryError(
+            f"journal record {record['seq']}: unknown type {rtype!r}"
+        )
 
 
 def recover(
@@ -304,6 +356,8 @@ def recover(
     snapshot_every: Optional[int] = None,
     fsync: bool = False,
     keep_snapshots: int = 2,
+    salvage: bool = False,
+    salvage_report: Optional[Dict[str, Any]] = None,
 ) -> ClusterSimulator:
     """Rebuild the scheduler from ``directory`` after a crash.
 
@@ -316,37 +370,84 @@ def recover(
     never replayed twice and recovery statistics survive further crashes.
     The returned simulator is event-for-event equivalent to one that never
     crashed.
+
+    ``salvage`` turns hard failures into bounded, accounted loss: CRC-bad
+    mid-stream journal records are skipped (strict mode raises
+    :class:`~repro.errors.JournalCorruptError`), a partially damaged
+    snapshot loads section-by-section (rebuildable sections reconstructed,
+    see :func:`~repro.recovery.snapshot.load_snapshot_salvage`), and replay
+    stops at the first record the damaged prefix makes unreplayable.  The
+    journal is then rewritten empty with a fresh snapshot at the recovered
+    sequence (a strict reader would refuse the damage-induced gaps).  Every
+    loss is tallied in ``recovery_stats`` (``salvage_skipped``,
+    ``salvage_dropped``, ``snapshot_sections_rebuilt``) and, when
+    ``salvage_report`` (a dict) is passed, itemised into it.
     """
     candidates = _snapshot_files(directory)
     if not candidates:
         raise SnapshotError(f"no snapshot found in {directory!r}")
     doc = None
+    salvaged_sections: List[str] = []
+    snapshot_path_used = None
     errors = []
     for path in candidates:
         try:
             doc = load_snapshot(path)
+            snapshot_path_used = path
             break
         except SnapshotError as exc:
             errors.append(str(exc))
+        if salvage:
+            loaded = load_snapshot_salvage(path)
+            if loaded is not None:
+                doc, salvaged_sections = loaded
+                snapshot_path_used = path
+                break
     if doc is None:
         raise SnapshotError(
             f"no valid snapshot in {directory!r}: " + "; ".join(errors)
         )
 
     journal_path = os.path.join(directory, _JOURNAL_NAME)
-    records, torn, valid_bytes = read_journal(journal_path)
-    if torn and os.path.exists(journal_path):
-        with open(journal_path, "r+b") as handle:
-            handle.truncate(valid_bytes)
+    if salvage:
+        records, journal_loss = read_journal_salvage(journal_path)
+        torn = journal_loss["torn"]
+    else:
+        records, torn, valid_bytes = read_journal(journal_path)
+        journal_loss = None
+        if torn and os.path.exists(journal_path):
+            with open(journal_path, "r+b") as handle:
+                handle.truncate(valid_bytes)
 
-    sim = restore_simulator(doc)
+    sim = restore_simulator(doc, salvaged=salvaged_sections)
     sim.recovery_stats["recoveries"] += 1
     sim.recovery_stats["torn_records_dropped"] += torn
 
     suffix = [r for r in records if r["seq"] > doc["seq"]]
-    _replay(sim, suffix)
+    dropped = _replay(sim, suffix, salvage=salvage)
 
     last_seq = records[-1]["seq"] if records else doc["seq"]
+    if salvage:
+        crc_skipped = journal_loss["crc_skipped"]
+        sim.recovery_stats["salvage_skipped"] += crc_skipped
+        sim.recovery_stats["salvage_dropped"] += dropped
+        if salvage_report is not None:
+            salvage_report.update(
+                {
+                    "snapshot_path": snapshot_path_used,
+                    "snapshot_sections_rebuilt": list(salvaged_sections),
+                    "journal": journal_loss,
+                    "crc_skipped": crc_skipped,
+                    "replay_dropped": dropped,
+                    "last_seq": last_seq,
+                }
+            )
+        # A strict reader would refuse the damage-induced sequence gaps, so
+        # the salvaged journal cannot be appended to: restart it empty and
+        # anchor recovery on a fresh snapshot at the recovered sequence.
+        if os.path.exists(journal_path):
+            with open(journal_path, "r+b") as handle:
+                handle.truncate(0)
     manager = RecoveryManager(
         directory,
         snapshot_every=snapshot_every,

@@ -21,7 +21,7 @@ import hashlib
 import heapq
 import json
 import os
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..errors import SnapshotError
 from ..match.writer import Allocation, planner_owner_index
@@ -31,13 +31,27 @@ from ..sched.simulator import _FAIL, _REPAIR, ClusterSimulator
 
 __all__ = [
     "SNAPSHOT_VERSION",
+    "REBUILDABLE_SECTIONS",
     "snapshot_state",
     "restore_simulator",
     "write_snapshot",
     "load_snapshot",
+    "load_snapshot_salvage",
 ]
 
 SNAPSHOT_VERSION = 1
+
+#: sections :func:`load_snapshot_salvage` may drop: each can be rebuilt from
+#: the rest of the document (planners from the allocation table) or holds
+#: only reporting state whose loss is bounded and accounted.
+REBUILDABLE_SECTIONS = frozenset(
+    {"planners", "traverser_stats", "event_log", "recovery_stats"}
+)
+
+
+def _section_digest(value: Any) -> str:
+    payload = json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def _planner_states(sim: ClusterSimulator) -> Dict[str, Dict[str, Any]]:
@@ -154,11 +168,37 @@ def snapshot_state(sim: ClusterSimulator, seq: int = 0) -> Dict[str, Any]:
                 "state": sim.overload.export_state(),
             }
         ),
+        # Optional integrity-scrubber state (same contract as "overload").
+        "integrity": (
+            None
+            if sim.integrity is None
+            else {
+                "config": sim.integrity.config.to_dict(),
+                "state": sim.integrity.export_state(),
+            }
+        ),
     }
 
 
-def restore_simulator(doc: Dict[str, Any]) -> ClusterSimulator:
-    """Rebuild a fresh :class:`ClusterSimulator` from a snapshot document."""
+def restore_simulator(
+    doc: Dict[str, Any], salvaged: Iterable[str] = ()
+) -> ClusterSimulator:
+    """Rebuild a fresh :class:`ClusterSimulator` from a snapshot document.
+
+    ``salvaged`` names sections :func:`load_snapshot_salvage` dropped; each
+    must be in :data:`REBUILDABLE_SECTIONS`.  A dropped ``planners`` section
+    is reconstructed from the live allocation records (span ids preserved)
+    via :meth:`~repro.recovery.repair.RepairEngine.
+    rebuild_from_allocation_records`; the other rebuildable sections restart
+    from fresh defaults.  Every rebuilt section is counted in
+    ``recovery_stats["snapshot_sections_rebuilt"]``.
+    """
+    salvaged = set(salvaged)
+    bad = salvaged - REBUILDABLE_SECTIONS
+    if bad:
+        raise SnapshotError(
+            f"cannot restore without critical section(s): {sorted(bad)}"
+        )
     if doc.get("version") != SNAPSHOT_VERSION:
         raise SnapshotError(
             f"unsupported snapshot version {doc.get('version')!r}"
@@ -179,6 +219,12 @@ def restore_simulator(doc: Dict[str, Any]) -> ClusterSimulator:
         from ..resilience.overload import OverloadConfig
 
         overload_config = OverloadConfig.from_dict(overload_doc["config"])
+    integrity_doc = doc.get("integrity")
+    integrity_config = None
+    if integrity_doc is not None:
+        from .integrity import IntegrityConfig
+
+        integrity_config = IntegrityConfig.from_dict(integrity_doc["config"])
     sim = ClusterSimulator(
         graph,
         match_policy=config["match_policy"],
@@ -187,30 +233,38 @@ def restore_simulator(doc: Dict[str, Any]) -> ClusterSimulator:
         retry_policy=retry_policy,
         audit=config["audit"],
         overload=overload_config,
+        integrity=integrity_config,
     )
     by_name = {v.name: v for v in graph.vertices()}
 
-    # planner spans (before allocations, which reference them by id)
-    for name, entry in doc["planners"].items():
-        try:
-            vertex = by_name[name]
-        except KeyError:
-            raise SnapshotError(
-                f"snapshot references unknown vertex {name!r}"
-            ) from None
-        if "plans" in entry:
-            vertex.plans.import_state(entry["plans"])
-        if "xplans" in entry:
-            vertex.xplans.import_state(entry["xplans"])
-        if "filter" in entry:
-            if vertex.prune_filters is None:
-                raise SnapshotError(
-                    f"snapshot has filter spans for {name!r} but the "
-                    "restored graph installed no filter there"
-                )
-            vertex.prune_filters.import_state(entry["filter"])
-
     live = set(doc["live_alloc_ids"])
+    # planner spans (before allocations, which reference them by id)
+    if "planners" in salvaged:
+        from .repair import RepairEngine
+
+        RepairEngine(sim).rebuild_from_allocation_records(
+            doc["allocations"], live
+        )
+    else:
+        for name, entry in doc["planners"].items():
+            try:
+                vertex = by_name[name]
+            except KeyError:
+                raise SnapshotError(
+                    f"snapshot references unknown vertex {name!r}"
+                ) from None
+            if "plans" in entry:
+                vertex.plans.import_state(entry["plans"])
+            if "xplans" in entry:
+                vertex.xplans.import_state(entry["xplans"])
+            if "filter" in entry:
+                if vertex.prune_filters is None:
+                    raise SnapshotError(
+                        f"snapshot has filter spans for {name!r} but the "
+                        "restored graph installed no filter there"
+                    )
+                vertex.prune_filters.import_state(entry["filter"])
+
     allocations: Dict[int, Allocation] = {}
     for record in doc["allocations"]:
         alloc = Allocation.from_record(record, by_name)
@@ -220,7 +274,8 @@ def restore_simulator(doc: Dict[str, Any]) -> ClusterSimulator:
     sim.traverser._next_alloc_id = max(
         sim.traverser._next_alloc_id, int(doc["next_alloc_id"])
     )
-    sim.traverser.stats = dict(doc["traverser_stats"])
+    if "traverser_stats" not in salvaged:
+        sim.traverser.stats = dict(doc["traverser_stats"])
 
     for record in doc["jobs"]:
         job = Job.from_record(record, allocations)
@@ -238,7 +293,8 @@ def restore_simulator(doc: Dict[str, Any]) -> ClusterSimulator:
     sim._event_seq = int(doc["event_seq"])
     sim.now = doc["now"]
     sim._started_allocs = set(doc["started_allocs"])
-    sim.event_log = [tuple(entry) for entry in doc["event_log"]]
+    if "event_log" not in salvaged:
+        sim.event_log = [tuple(entry) for entry in doc["event_log"]]
     counters = doc["counters"]
     sim.failures = counters["failures"]
     sim.retries = counters["retries"]
@@ -252,9 +308,15 @@ def restore_simulator(doc: Dict[str, Any]) -> ClusterSimulator:
         (by_name[name].uniq_id, t0, t1, nodes)
         for name, t0, t1, nodes in doc["downtime"]
     ]
-    sim.recovery_stats = dict(doc["recovery_stats"])
+    if "recovery_stats" not in salvaged:
+        # Merge over the constructor defaults so snapshots written before a
+        # counter existed restore with it at 0 rather than missing.
+        sim.recovery_stats.update(doc["recovery_stats"])
+    sim.recovery_stats["snapshot_sections_rebuilt"] += len(salvaged)
     if overload_doc is not None:
         sim.overload.import_state(overload_doc["state"])
+    if integrity_doc is not None:
+        sim.integrity.import_state(integrity_doc["state"])
     return sim
 
 
@@ -266,7 +328,13 @@ def write_snapshot(doc: Dict[str, Any], path: str) -> None:
     """
     payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
-    wrapper = {"sha256": digest, "snapshot": doc}
+    wrapper = {
+        "sha256": digest,
+        # Per-section digests let salvage recovery localise damage: a bad
+        # rebuildable section is dropped instead of discarding the file.
+        "sections": {key: _section_digest(value) for key, value in doc.items()},
+        "snapshot": doc,
+    }
     tmp = path + ".tmp"
     with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(wrapper, handle, sort_keys=True, separators=(",", ":"))
@@ -293,4 +361,60 @@ def load_snapshot(path: str) -> Dict[str, Any]:
     digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
     if digest != wrapper["sha256"]:
         raise SnapshotError(f"snapshot {path!r} fails checksum verification")
+    # The per-section digests are salvage metadata outside the global
+    # checksum; verify them too so no byte of the file is unprotected.
+    sections = wrapper.get("sections")
+    if sections is not None:
+        for key, value in doc.items():
+            if sections.get(key) != _section_digest(value):
+                raise SnapshotError(
+                    f"snapshot {path!r}: section {key!r} fails digest "
+                    "verification"
+                )
     return doc
+
+
+def load_snapshot_salvage(
+    path: str,
+) -> Optional[Tuple[Dict[str, Any], List[str]]]:
+    """Best-effort snapshot load; returns ``(doc, dropped)`` or ``None``.
+
+    A snapshot :func:`load_snapshot` verifies loads with ``dropped == []``.
+    Otherwise the per-section digests written by :func:`write_snapshot`
+    localise the damage: a bad section in :data:`REBUILDABLE_SECTIONS` is
+    removed from the document and listed in ``dropped`` (sorted) for
+    :func:`restore_simulator` to reconstruct; a bad *critical* section — or
+    a file that is unreadable, unparseable, or predates per-section digests
+    — salvages nothing and returns ``None`` so recovery falls back to an
+    older snapshot.
+    """
+    try:
+        return load_snapshot(path), []
+    except SnapshotError:
+        pass
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            wrapper = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(wrapper, dict):
+        return None
+    doc = wrapper.get("snapshot")
+    sections = wrapper.get("sections")
+    if not isinstance(doc, dict) or not isinstance(sections, dict):
+        return None
+    dropped = []
+    for key in sorted(doc):
+        digest = sections.get(key)
+        if digest is not None and _section_digest(doc[key]) == digest:
+            continue
+        if key not in REBUILDABLE_SECTIONS:
+            return None
+        dropped.append(key)
+    if not dropped:
+        # Global checksum failed but every section verifies: the wrapper
+        # itself is damaged — nothing trustworthy to salvage section-wise.
+        return None
+    for key in dropped:
+        del doc[key]
+    return doc, dropped

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..errors import FluxionError
+from ..planner import Planner
 from ..sched.job import JobState
 
 __all__ = ["InvariantAuditor", "InvariantViolation", "Violation"]
@@ -204,8 +205,9 @@ class InvariantAuditor:
         for alloc in live.values():
             book(alloc._span_records, f"allocation {alloc.alloc_id}")
             for planner, span_id in alloc._span_records:
-                span = getattr(planner, "get_span", None)
-                if span is None or not planner.has_span(span_id):
+                if not isinstance(planner, Planner) or not planner.has_span(
+                    span_id
+                ):
                     continue  # PlannerMulti bundles / already reported
                 record = planner.get_span(span_id)
                 if (record.start, record.end) != (alloc.at, alloc.end):

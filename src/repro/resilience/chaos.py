@@ -51,10 +51,17 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
 __all__ = [
     "CampaignSpec",
     "CampaignResult",
+    "CORRUPTION_SITES",
     "run_campaign",
+    "run_corruption_campaign",
     "shrink_campaign",
     "main",
 ]
+
+#: where a corruption campaign injects damage: live planner state (span
+#: window / aggregate DFU filter), a mid-stream journal frame, or the
+#: ``planners`` section of every snapshot file
+CORRUPTION_SITES = ("live-span", "live-aggregate", "journal", "snapshot")
 
 #: crash points a campaign may draw (the hot ones; admit.* fire only under
 #: admission pressure, which campaigns create via tight max_pending)
@@ -92,6 +99,10 @@ class CampaignSpec:
     crash_nth: int = 1
     #: OverloadConfig keyword arguments (None disables overload protection)
     overload: Optional[dict] = None
+    #: corruption-injection scenario for :func:`run_corruption_campaign`
+    #: (``{"site", "at", "salt", "count", "snapshot_every"}``; None = no
+    #: corruption, the spec runs through plain :func:`run_campaign`)
+    corruption: Optional[dict] = None
 
     @classmethod
     def from_seed(cls, seed: int) -> "CampaignSpec":
@@ -132,6 +143,37 @@ class CampaignSpec:
             overload=overload,
         )
 
+    @classmethod
+    def corruption_from_seed(
+        cls, seed: int, site: Optional[str] = None
+    ) -> "CampaignSpec":
+        """Draw a corruption campaign deterministically from ``seed``.
+
+        Starts from :meth:`from_seed` and swaps the crash/fault stressors
+        for a corruption injection at ``site`` (drawn from
+        :data:`CORRUPTION_SITES` when omitted) — the acceptance matrix
+        wants one failure mode per run so detect→quarantine→repair→converge
+        is attributable.
+        """
+        rng = random.Random(seed ^ 0xC0FFEE)
+        if site is None:
+            site = rng.choice(CORRUPTION_SITES)
+        elif site not in CORRUPTION_SITES:
+            raise SchedulerError(f"unknown corruption site {site!r}")
+        corruption = {
+            "site": site,
+            "at": rng.randrange(400, 1200),
+            "salt": rng.randrange(1, 2**16),
+            "count": rng.randrange(1, 4),
+            "snapshot_every": 7,
+        }
+        return replace(
+            cls.from_seed(seed),
+            faults=False,
+            crash_point=None,
+            corruption=corruption,
+        )
+
     def to_dict(self) -> dict:
         """JSON-able form (reproducer artifacts)."""
         return {
@@ -151,6 +193,7 @@ class CampaignSpec:
             "crash_point": self.crash_point,
             "crash_nth": self.crash_nth,
             "overload": self.overload,
+            "corruption": self.corruption,
         }
 
     @classmethod
@@ -174,6 +217,9 @@ class CampaignResult:
     crashed: bool = False
     recovered: bool = False
     report: "Optional[SimulationReport]" = None
+    #: corruption-campaign loss accounting (site, injected vs. skipped
+    #: counts, sections rebuilt, fsck verdict); empty for plain campaigns
+    loss: dict = field(default_factory=dict)
 
 
 def _submission_plan(
@@ -224,6 +270,13 @@ def _build_simulator(
     overload = (
         OverloadConfig(**spec.overload) if spec.overload is not None else None
     )
+    integrity = None
+    if spec.corruption is not None:
+        from ..recovery.integrity import IntegrityConfig
+
+        # Full-graph scrub each cycle: the acceptance matrix wants damage
+        # detected at the first cycle after injection, not window-delayed.
+        integrity = IntegrityConfig(scrub_window=None)
     return ClusterSimulator(
         graph,
         match_policy=spec.match_policy,
@@ -232,6 +285,7 @@ def _build_simulator(
         audit=InvariantAuditor(),
         observe=observe or None,
         overload=overload,
+        integrity=integrity,
     )
 
 
@@ -344,6 +398,227 @@ def run_campaign(
             tmp.cleanup()
 
 
+def _corrupt_journal_records(path: str, count: int, rng: random.Random) -> int:
+    """Damage ``count`` mid-stream journal frames; returns frames damaged.
+
+    The final record is never touched — damaging it would be a torn tail,
+    which strict recovery already tolerates; the campaign is after the
+    mid-stream case strict recovery refuses.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    lines = data.split(b"\n")
+    body = [i for i, line in enumerate(lines[:-1]) if line]
+    eligible = body[:-1]
+    if not eligible:
+        return 0
+    chosen = sorted(rng.sample(eligible, min(count, len(eligible))))
+    for index in chosen:
+        line = lines[index]
+        tail = b"zz" if line[-2:] != b"zz" else b"qq"
+        lines[index] = line[:-2] + tail
+    with open(path, "wb") as handle:
+        handle.write(b"\n".join(lines))
+    return len(chosen)
+
+
+def _tamper_snapshot_planners(directory: str, salt: int) -> int:
+    """Damage the ``planners`` section of every snapshot file in place.
+
+    The wrapper checksums are left stale, so strict loading fails on every
+    file and salvage loading localises the damage to the one rebuildable
+    section.  Returns the number of files tampered.
+    """
+    tampered = 0
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith("snapshot-") and name.endswith(".json")):
+            continue
+        path = os.path.join(directory, name)
+        with open(path, "r", encoding="utf-8") as handle:
+            wrapper = json.load(handle)
+        doc = wrapper.get("snapshot")
+        if not isinstance(doc, dict) or "planners" not in doc:
+            continue
+        doc["planners"]["__chaos_tamper__"] = salt
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(wrapper, handle, sort_keys=True, separators=(",", ":"))
+        tampered += 1
+    return tampered
+
+
+def run_corruption_campaign(
+    spec: CampaignSpec,
+    workdir: Optional[str] = None,
+    observe: bool = False,
+) -> CampaignResult:
+    """Run one corruption campaign: inject → detect → repair → converge.
+
+    The spec's ``corruption`` scenario picks one injection site (see
+    :data:`CORRUPTION_SITES`).  Live-state damage must be detected by the
+    online scrubber, quarantined without crashing, repaired, and the
+    simulation must run to completion with a clean deep audit.  Durable
+    damage (journal frame, snapshot section) must be *refused* by strict
+    recovery and salvaged with loss accounting that matches the injected
+    damage exactly.  Every campaign ends with the ``fluxfsck --check``
+    gate over the recovery directory; its verdict and the loss accounting
+    land in ``result.loss``.
+    """
+    from ..errors import JournalCorruptError, SnapshotError
+    from ..recovery import RecoveryManager, recover
+    from ..recovery.__main__ import main as fsck_main
+    from ..recovery.diff import state_fingerprint
+    from ..recovery.integrity import corruption_targets
+
+    if spec.corruption is None:
+        raise SchedulerError("spec has no corruption scenario")
+    corruption = spec.corruption
+    site = corruption["site"]
+    salt = int(corruption.get("salt", 1))
+    tmp = None
+    if workdir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="chaos-corrupt-")
+        workdir = tmp.name
+    violations: List[str] = []
+    loss: dict = {"site": site}
+    rng = random.Random(spec.seed ^ salt)
+    try:
+        sim = _build_simulator(spec, observe=observe)
+        RecoveryManager(
+            workdir, snapshot_every=corruption.get("snapshot_every")
+        ).attach(sim)
+        for at, jobspec, priority, actual in _submission_plan(spec):
+            sim.submit(
+                jobspec, at=at, priority=priority, actual_duration=actual
+            )
+        sim.run(until=int(corruption.get("at", 600)))
+
+        if site in ("live-span", "live-aggregate"):
+            kind = "span" if site == "live-span" else "aggregate"
+            targets = corruption_targets(sim, kind)
+            if not targets:
+                kind = "structure"  # always applicable fallback
+                targets = corruption_targets(sim, kind)
+            name = targets[rng.randrange(len(targets))]
+            applied = sim.inject_corruption(
+                kind, sim.graph.vertex_by_name(name), salt
+            )
+            loss.update({"kind": kind, "vertex": name, "applied": applied})
+            sim.run()
+            counters = sim.integrity.counters
+            loss.update(
+                {
+                    "detected": counters["detected"],
+                    "repaired": counters["repaired"],
+                    "unrepaired": counters["unrepaired"],
+                    "jobs_requeued": counters["jobs_requeued"],
+                }
+            )
+            if applied and counters["detected"] < 1:
+                violations.append(f"{site}: injected damage never detected")
+            if counters["unrepaired"]:
+                violations.append(
+                    f"{site}: {counters['unrepaired']} vertices unrepaired"
+                )
+            if sim.integrity.quarantined:
+                violations.append(
+                    f"{site}: quarantine not released: "
+                    f"{sorted(sim.integrity.quarantined)}"
+                )
+        else:
+            sim.recovery.close()
+            if site == "journal":
+                injected = _corrupt_journal_records(
+                    os.path.join(workdir, "journal.wal"),
+                    int(corruption.get("count", 2)),
+                    rng,
+                )
+                loss["injected"] = injected
+                if injected:
+                    try:
+                        recover(workdir)
+                        violations.append(
+                            "journal: strict recovery accepted mid-stream "
+                            "damage"
+                        )
+                    except JournalCorruptError:
+                        loss["strict_refused"] = True
+            else:
+                tampered = _tamper_snapshot_planners(workdir, salt)
+                loss["injected"] = tampered
+                if tampered:
+                    try:
+                        recover(workdir)
+                        violations.append(
+                            "snapshot: strict recovery accepted damaged "
+                            "snapshots"
+                        )
+                    except SnapshotError:
+                        loss["strict_refused"] = True
+            salvage_report: dict = {}
+            sim = recover(
+                workdir, salvage=True, salvage_report=salvage_report
+            )
+            loss.update(
+                {
+                    "crc_skipped": salvage_report.get("crc_skipped", 0),
+                    "replay_dropped": salvage_report.get("replay_dropped", 0),
+                    "sections_rebuilt": salvage_report.get(
+                        "snapshot_sections_rebuilt", []
+                    ),
+                }
+            )
+            if site == "journal" and loss["crc_skipped"] != loss["injected"]:
+                violations.append(
+                    f"journal: loss accounting mismatch — injected "
+                    f"{loss['injected']} but skipped {loss['crc_skipped']}"
+                )
+            if (
+                site == "snapshot"
+                and loss["injected"]
+                and loss["sections_rebuilt"] != ["planners"]
+            ):
+                violations.append(
+                    f"snapshot: expected ['planners'] rebuilt, got "
+                    f"{loss['sections_rebuilt']}"
+                )
+            sim.run()
+
+        if sim.auditor is not None:
+            sim.auditor.check(sim)
+        report = sim.report()
+        violations.extend(_accounting_violations(report))
+        fingerprint = hashlib.sha256(
+            json.dumps(
+                state_fingerprint(sim), sort_keys=True, default=str
+            ).encode("utf-8")
+        ).hexdigest()
+        if sim.recovery is not None:
+            sim.recovery.close()
+        fsck_exit = fsck_main(["fsck", workdir, "--check"])
+        loss["fsck_exit"] = fsck_exit
+        if fsck_exit != 0:
+            violations.append(
+                f"fsck --check exits {fsck_exit} after repair"
+            )
+        return CampaignResult(
+            spec=spec,
+            ok=not violations,
+            violations=violations,
+            summary=report.summary(),
+            fingerprint=fingerprint,
+            report=report,
+            loss=loss,
+        )
+    except FluxionError as exc:
+        violations.append(f"{type(exc).__name__}: {exc}")
+        return CampaignResult(
+            spec=spec, ok=False, violations=violations, loss=loss
+        )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
 def _simplifications(spec: CampaignSpec) -> List[Tuple[str, CampaignSpec]]:
     """Candidate one-step simplifications of ``spec``, gentlest cut first."""
     out: List[Tuple[str, CampaignSpec]] = []
@@ -436,7 +711,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=40,
         help="campaign executions the shrinker may spend per failure",
     )
+    parser.add_argument(
+        "--corruption",
+        action="store_true",
+        help="run corruption campaigns (inject → detect → repair → fsck) "
+        "instead of fault/crash campaigns; loss reports land in --out",
+    )
     args = parser.parse_args(argv)
+    if args.corruption:
+        return _corruption_main(args)
     failures = 0
     for index in range(args.campaigns):
         seed = args.seed_base + index
@@ -468,6 +751,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(artifact, handle, indent=2, sort_keys=True)
         print(f"  reproducer written to {path} (steps: {steps})")
+    print(f"{args.campaigns - failures}/{args.campaigns} campaigns clean")
+    return 1 if failures else 0
+
+
+def _corruption_main(args: argparse.Namespace) -> int:
+    """Run the corruption acceptance matrix: sites rotate across seeds.
+
+    Unlike fault campaigns, *every* run writes its loss report to ``--out``
+    — the accounting is the artifact, not just the failures.  Corruption
+    campaigns are not shrunk: the spec is already minimal (one injection).
+    """
+    os.makedirs(args.out, exist_ok=True)
+    failures = 0
+    for index in range(args.campaigns):
+        seed = args.seed_base + index
+        site = CORRUPTION_SITES[index % len(CORRUPTION_SITES)]
+        spec = CampaignSpec.corruption_from_seed(seed, site)
+        result = run_corruption_campaign(spec)
+        status = "ok" if result.ok else "FAIL"
+        print(f"corruption seed={seed} site={site}: {status}")
+        if not result.ok:
+            failures += 1
+            for violation in result.violations:
+                print(f"  violation: {violation}")
+        artifact = {
+            "seed": seed,
+            "site": site,
+            "ok": result.ok,
+            "spec": spec.to_dict(),
+            "loss": result.loss,
+            "violations": result.violations,
+            "summary": result.summary,
+        }
+        path = os.path.join(args.out, f"corruption-seed{seed}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
     print(f"{args.campaigns - failures}/{args.campaigns} campaigns clean")
     return 1 if failures else 0
 

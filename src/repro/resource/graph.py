@@ -212,6 +212,18 @@ class ResourceGraph:
         except KeyError:
             raise ResourceGraphError(f"unknown vertex id {uniq_id}") from None
 
+    def vertex_by_name(self, name: str) -> ResourceVertex:
+        """Return the vertex named ``name`` (``basename + id``).
+
+        Names are unique within a graph (JGF round-trips rely on it); the
+        recovery and integrity layers address vertices by name because
+        ``uniq_id`` is not stable across restores.
+        """
+        for v in self._vertices.values():
+            if v.name == name:
+                return v
+        raise ResourceGraphError(f"unknown vertex name {name!r}")
+
     def vertices(self, type: Optional[str] = None) -> Iterator[ResourceVertex]:
         """Iterate vertices (optionally restricted to one type)."""
         if type is None:

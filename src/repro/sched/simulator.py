@@ -77,6 +77,14 @@ class SimulationReport:
     torn_records_dropped: int = 0
     #: times this simulator state was restored from snapshot+journal
     recoveries: int = 0
+    #: replay heap-top divergences observed (raises outside salvage mode)
+    replay_divergences: int = 0
+    #: CRC-bad mid-stream journal records skipped by salvage recovery
+    salvage_skipped: int = 0
+    #: replay-suffix records dropped after a salvage-mode divergence stop
+    salvage_dropped: int = 0
+    #: corrupt snapshot sections dropped and rebuilt by salvage recovery
+    snapshot_sections_rebuilt: int = 0
     # -- observability (repro.obs) --------------------------------------
     #: metrics snapshot (observer + traverser registries) when the run was
     #: observed (ClusterSimulator(observe=...) / FLUXOBS=1), else None
@@ -107,6 +115,23 @@ class SimulationReport:
     #: worst cycle-budget overrun in work units (bounded by one
     #: cancellation-checkpoint interval)
     max_cycle_overrun: int = 0
+    # -- state integrity (repro.recovery.integrity) ----------------------
+    #: True when an IntegrityMonitor scrubbed this run
+    integrity_enabled: bool = False
+    #: vertices examined by scrub passes over the whole run
+    vertices_scrubbed: int = 0
+    #: individual findings detected (checksum/span/tree drift)
+    corruption_detected: int = 0
+    #: vertices quarantined (drained pending repair)
+    corruption_quarantined: int = 0
+    #: vertices repaired and returned to service
+    corruption_repaired: int = 0
+    #: vertices left quarantined (repair + evacuation both failed)
+    corruption_unrepaired: int = 0
+    #: journaled repair actions applied
+    integrity_repair_actions: int = 0
+    #: jobs requeued because their reservations were lost to corruption
+    integrity_jobs_requeued: int = 0
 
     @property
     def completed(self) -> List[Job]:
@@ -191,13 +216,35 @@ class SimulationReport:
             or self.journal_records
             or self.recoveries
             or self.torn_records_dropped
+            or self.replay_divergences
         ):
             text += (
                 f"; recovery: {self.snapshots_taken} snapshots, "
                 f"{self.journal_records} journal records, "
                 f"{self.recoveries} restarts "
                 f"({self.journal_replayed} replayed, "
-                f"{self.torn_records_dropped} torn dropped)"
+                f"{self.torn_records_dropped} torn dropped, "
+                f"{self.replay_divergences} replay divergences)"
+            )
+        if (
+            self.salvage_skipped
+            or self.salvage_dropped
+            or self.snapshot_sections_rebuilt
+        ):
+            text += (
+                f"; salvage: {self.salvage_skipped} records skipped, "
+                f"{self.salvage_dropped} dropped post-divergence, "
+                f"{self.snapshot_sections_rebuilt} snapshot sections rebuilt"
+            )
+        if self.integrity_enabled:
+            text += (
+                f"; integrity: {self.vertices_scrubbed} scrubbed, "
+                f"{self.corruption_detected} findings, "
+                f"{self.corruption_quarantined} quarantined, "
+                f"{self.corruption_repaired} repaired "
+                f"({self.integrity_repair_actions} actions, "
+                f"{self.integrity_jobs_requeued} jobs requeued, "
+                f"{self.corruption_unrepaired} unrepaired)"
             )
         if self.overload_enabled:
             text += (
@@ -272,6 +319,13 @@ class ClusterSimulator:
         control, scheduling deadlines, circuit breakers and the graceful
         degradation ladder for this simulator.  ``None`` (default) keeps
         the historical unbounded behaviour.
+    integrity:
+        Online state-integrity scrubbing (:mod:`repro.recovery.integrity`):
+        an :class:`~repro.recovery.IntegrityConfig` (or a pre-built
+        :class:`~repro.recovery.IntegrityMonitor`) runs a work-budgeted
+        fluxfsck pass at the head of every scheduling cycle, quarantining
+        and repairing corrupted vertices before matching reads them.
+        ``None`` (default) disables scrubbing.
     """
 
     def __init__(
@@ -285,6 +339,7 @@ class ClusterSimulator:
         sanitize: bool = False,
         observe: "Observer | bool | None" = None,
         overload: "OverloadConfig | OverloadController | None" = None,
+        integrity: "IntegrityConfig | IntegrityMonitor | None" = None,
     ) -> None:
         self.graph = graph
         self.obs = _resolve_observer(observe)
@@ -330,6 +385,10 @@ class ClusterSimulator:
             "journal_replayed": 0,
             "torn_records_dropped": 0,
             "recoveries": 0,
+            "replay_divergences": 0,
+            "salvage_skipped": 0,
+            "salvage_dropped": 0,
+            "snapshot_sections_rebuilt": 0,
         }
         # opt-in runtime sanitizer (repro.statcheck): FLUXSAN=1 in the
         # environment turns it on for every simulator; sanitize=True for one.
@@ -352,6 +411,17 @@ class ClusterSimulator:
                 else OverloadController(overload)
             )
             self.overload.attach(self)
+        # online state-integrity scrubbing (repro.recovery.integrity)
+        self.integrity = None
+        if integrity is not None:
+            from ..recovery.integrity import IntegrityMonitor
+
+            self.integrity = (
+                integrity
+                if isinstance(integrity, IntegrityMonitor)
+                else IntegrityMonitor(integrity)
+            )
+            self.integrity.attach(self)
 
     # ------------------------------------------------------------------
     # submission
@@ -508,6 +578,38 @@ class ClusterSimulator:
         finally:
             self._applying -= 1
 
+    def inject_corruption(
+        self, kind: str, vertex: ResourceVertex, salt: int = 0
+    ) -> bool:
+        """Deterministically corrupt live state on ``vertex`` (test hook).
+
+        A journaled top-level command, exactly like :meth:`fail`: the
+        ``corrupt`` record is written *before* the damage is applied, so
+        crash-recovery replay re-corrupts the restored state identically —
+        and the integrity scrubber then re-detects and re-repairs it,
+        regenerating every quarantine/repair effect deterministically.
+        Kinds are documented at
+        :func:`~repro.recovery.integrity.apply_corruption`; returns False
+        when the vertex holds no state of the requested kind.
+        """
+        from ..recovery.integrity import apply_corruption
+
+        self._journal(
+            {"type": "corrupt", "kind": kind, "vertex": vertex.name,
+             "salt": salt}
+        )
+        self._applying += 1
+        try:
+            applied = apply_corruption(self, vertex, kind, salt)
+            if applied:
+                self.event_log.append((self.now, "corrupt", vertex.name))
+                # Run a cycle immediately (like fail()) so the scrubber sees
+                # the damage before span releases can mask it.
+                self._cycle()
+        finally:
+            self._applying -= 1
+        return applied
+
     # ------------------------------------------------------------------
     # event loop
     # ------------------------------------------------------------------
@@ -587,6 +689,19 @@ class ClusterSimulator:
                 "overload_level": self.overload.level.name,
                 "max_cycle_overrun": self.overload.max_cycle_overrun,
             }
+        integrity: Dict[str, object] = {}
+        if self.integrity is not None:
+            icounters = self.integrity.counters
+            integrity = {
+                "integrity_enabled": True,
+                "vertices_scrubbed": icounters["scrubbed_vertices"],
+                "corruption_detected": icounters["detected"],
+                "corruption_quarantined": icounters["quarantined"],
+                "corruption_repaired": icounters["repaired"],
+                "corruption_unrepaired": icounters["unrepaired"],
+                "integrity_repair_actions": icounters["repair_actions"],
+                "integrity_jobs_requeued": icounters["jobs_requeued"],
+            }
         closed = [(t1 - t0) for _, t0, t1, _ in self._downtime]
         node_seconds_lost = sum(
             (t1 - t0) * nodes for _, t0, t1, nodes in self._downtime
@@ -609,8 +724,17 @@ class ClusterSimulator:
             journal_replayed=self.recovery_stats["journal_replayed"],
             torn_records_dropped=self.recovery_stats["torn_records_dropped"],
             recoveries=self.recovery_stats["recoveries"],
+            replay_divergences=self.recovery_stats.get(
+                "replay_divergences", 0
+            ),
+            salvage_skipped=self.recovery_stats.get("salvage_skipped", 0),
+            salvage_dropped=self.recovery_stats.get("salvage_dropped", 0),
+            snapshot_sections_rebuilt=self.recovery_stats.get(
+                "snapshot_sections_rebuilt", 0
+            ),
             metrics=self.metrics_snapshot() if self.obs.enabled else None,
             **overload,
+            **integrity,
         )
 
     def metrics_snapshot(self) -> Dict[str, object]:
@@ -881,6 +1005,11 @@ class ClusterSimulator:
 
     def _run_cycle(self) -> None:
         self._crashpoint("cycle.pre")
+        if self.integrity is not None:
+            # Scrub before matching: corrupted vertices are quarantined or
+            # repaired before any placement decision can read them (and
+            # before the end-of-cycle auditor would trip on them).
+            self.integrity.scrub_cycle()
         if self.overload is not None:
             self.overload.promote_deferred()
         pending = self._pending_jobs()

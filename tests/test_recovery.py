@@ -32,10 +32,14 @@ from repro.planner import Planner, PlannerMulti
 from repro.recovery import (
     CRASH_POINTS,
     CrashInjector,
+    IntegrityConfig,
     RecoveryManager,
     SimulatedCrash,
+    corruption_targets,
     load_snapshot,
+    load_snapshot_salvage,
     read_journal,
+    read_journal_salvage,
     recover,
     restore_simulator,
     snapshot_state,
@@ -608,3 +612,259 @@ class TestAllocationRecords:
                 s.vertex.name for s in alloc.selections
             ]
             assert rebuilt._span_records == alloc._span_records
+
+
+# ----------------------------------------------------------------------
+# journal tail hardening (satellite: torn-tail regression matrix)
+# ----------------------------------------------------------------------
+class TestJournalTailHardening:
+    def test_zero_length_file(self, tmp_path):
+        path = str(tmp_path / "j.wal")
+        open(path, "wb").close()
+        assert read_journal(path) == ([], 0, 0)
+
+    def test_header_only_record(self, tmp_path):
+        # only "<seq>:<crc>:" hit the disk before the crash: a torn first
+        # write, not corruption — the file reads as empty
+        path = str(tmp_path / "j.wal")
+        with open(path, "wb") as handle:
+            handle.write(b"1:deadbeef:")
+        assert read_journal(path) == ([], 1, 0)
+
+    def test_final_record_longer_than_file(self, tmp_path):
+        # the final frame's declared content extends past end-of-file
+        # (write cut mid-payload): dropped as torn, prefix intact
+        path = str(tmp_path / "j.wal")
+        full = frame_record(1, {"i": 0})
+        partial = frame_record(2, {"i": 1, "pad": "x" * 64})
+        with open(path, "wb") as handle:
+            handle.write(full)
+            handle.write(partial[: len(partial) // 2])
+        records, torn, valid = read_journal(path)
+        assert torn == 1
+        assert [r["seq"] for r in records] == [1]
+        assert valid == len(full)
+
+    def test_tail_truncation_idempotent(self, tmp_path):
+        path = str(tmp_path / "j.wal")
+        with Journal(path) as journal:
+            for i in range(3):
+                journal.append({"i": i})
+        with open(path, "r+b") as handle:
+            handle.seek(-3, os.SEEK_END)
+            handle.write(b"X")
+        records, torn, valid = read_journal(path)
+        assert torn == 1
+        # truncating to the valid prefix converges: re-reading reports no
+        # tear, and truncating again changes nothing
+        with open(path, "r+b") as handle:
+            handle.truncate(valid)
+        again, torn2, valid2 = read_journal(path)
+        assert (torn2, valid2) == (0, valid)
+        assert [r["seq"] for r in again] == [r["seq"] for r in records]
+        with open(path, "r+b") as handle:
+            handle.truncate(valid2)
+        assert read_journal(path) == (again, 0, valid2)
+
+
+# ----------------------------------------------------------------------
+# bounded-loss salvage readers (tentpole: mid-stream damage accounted)
+# ----------------------------------------------------------------------
+class TestJournalSalvage:
+    def test_clean_file_matches_strict(self, tmp_path):
+        path = str(tmp_path / "j.wal")
+        with Journal(path) as journal:
+            for i in range(4):
+                journal.append({"i": i})
+        strict, _, valid = read_journal(path)
+        records, report = read_journal_salvage(path)
+        assert records == strict
+        assert report["crc_skipped"] == 0
+        assert report["torn"] == 0
+        assert report["valid_bytes"] == valid
+        assert report["records"] == 4
+
+    def test_midstream_damage_skipped_and_accounted(self, tmp_path):
+        path = str(tmp_path / "j.wal")
+        with Journal(path) as journal:
+            for i in range(5):
+                journal.append({"i": i})
+        with open(path, "rb") as handle:
+            lines = handle.read().split(b"\n")
+        for index in (1, 3):  # damage records 2 and 4
+            lines[index] = lines[index][:-2] + b"zz"
+        with open(path, "wb") as handle:
+            handle.write(b"\n".join(lines))
+        with pytest.raises(JournalCorruptError):
+            read_journal(path)
+        records, report = read_journal_salvage(path)
+        assert [r["i"] for r in records] == [0, 2, 4]
+        assert [r["seq"] for r in records] == [1, 3, 5]
+        assert report["crc_skipped"] == 2
+        assert len(report["skipped"]) == 2
+        assert all("offset" in s and "reason" in s for s in report["skipped"])
+        assert report["torn"] == 0
+        assert report["records"] == 3
+
+    def test_non_increasing_sequence_is_damage(self, tmp_path):
+        path = str(tmp_path / "j.wal")
+        with open(path, "wb") as handle:
+            handle.write(frame_record(1, {"i": 0}))
+            handle.write(frame_record(1, {"i": 9}))  # replayed frame
+            handle.write(frame_record(3, {"i": 2}))  # gap: fine in salvage
+        records, report = read_journal_salvage(path)
+        assert [r["seq"] for r in records] == [1, 3]
+        assert report["crc_skipped"] == 1
+
+    def test_torn_tail_reported_not_counted_as_crc(self, tmp_path):
+        path = str(tmp_path / "j.wal")
+        with Journal(path) as journal:
+            journal.append({"i": 0})
+            journal.append({"i": 1})
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 3)
+        records, report = read_journal_salvage(path)
+        assert [r["i"] for r in records] == [0]
+        assert report["torn"] == 1
+        assert report["crc_skipped"] == 0
+
+
+class TestSnapshotSalvage:
+    def _snapshot(self, tmp_path):
+        sim = saturated_sim()
+        for _ in range(4):
+            sim.step()
+        path = str(tmp_path / "s.json")
+        write_snapshot(snapshot_state(sim), path)
+        return sim, path
+
+    def test_clean_file_salvages_strict(self, tmp_path):
+        _, path = self._snapshot(tmp_path)
+        doc, dropped = load_snapshot_salvage(path)
+        assert dropped == []
+        assert doc == load_snapshot(path)
+
+    def test_rebuildable_section_dropped_and_rebuilt(self, tmp_path):
+        sim, path = self._snapshot(tmp_path)
+        wrapper = json.load(open(path))
+        # stale section digest: the planners doc no longer matches it
+        wrapper["snapshot"]["planners"]["__tamper__"] = 1
+        with open(path, "w") as handle:
+            json.dump(wrapper, handle)
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+        loaded = load_snapshot_salvage(path)
+        assert loaded is not None
+        doc, dropped = loaded
+        assert dropped == ["planners"]
+        assert "planners" not in doc
+        restored = restore_simulator(doc, salvaged=dropped)
+        assert restored.recovery_stats["snapshot_sections_rebuilt"] == 1
+        # the rebuilt planner state carries the same live allocations
+        assert state_diff(sim, restored) == []
+        report_a, report_b = sim.run(), restored.run()
+        assert report_a.makespan == report_b.makespan
+
+    def test_critical_section_damage_refuses(self, tmp_path):
+        _, path = self._snapshot(tmp_path)
+        wrapper = json.load(open(path))
+        wrapper["snapshot"]["allocations"].append({"bogus": True})
+        with open(path, "w") as handle:
+            json.dump(wrapper, handle)
+        assert load_snapshot_salvage(path) is None
+
+    def test_wrapper_only_damage_refuses(self, tmp_path):
+        # sections all verify but the global sha is wrong: nothing to
+        # localise, the file is untrustworthy as a whole
+        _, path = self._snapshot(tmp_path)
+        wrapper = json.load(open(path))
+        wrapper["sha256"] = "0" * 64
+        with open(path, "w") as handle:
+            json.dump(wrapper, handle)
+        assert load_snapshot_salvage(path) is None
+
+    def test_salvaged_must_be_rebuildable(self):
+        sim = saturated_sim()
+        doc = snapshot_state(sim)
+        with pytest.raises(SnapshotError):
+            restore_simulator(doc, salvaged=["allocations"])
+
+
+# ----------------------------------------------------------------------
+# snapshot idempotence property (satellite: snapshot -> restore -> snapshot)
+# ----------------------------------------------------------------------
+def enriched_sim(seed):
+    """Randomized workload carrying overload, quarantine and degraded state."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    sim = ClusterSimulator(
+        tiny_cluster(),
+        match_policy="first",
+        queue="easy",
+        retry_policy=RetryPolicy(max_retries=2, jitter=0.3, seed=seed),
+        overload=OverloadConfig(
+            max_pending=3,
+            admission_policy="defer",
+            cycle_budget=300,
+            attempt_budget=120,
+            degrade_after=1,
+            checkpoint_interval=16,
+        ),
+        integrity=IntegrityConfig(scrub_window=None, auto_repair=False),
+    )
+    for _ in range(rng.randrange(6, 12)):
+        sim.submit(
+            simple_node_jobspec(
+                cores=rng.choice([2, 4]), duration=rng.randrange(200, 600)
+            ),
+            at=rng.randrange(0, 400),
+            priority=rng.randrange(0, 3),
+        )
+    sim.run(until=250)
+    targets = corruption_targets(sim, "span")
+    if targets:  # leave a vertex quarantined (auto_repair is off)
+        sim.inject_corruption(
+            "span", sim.graph.vertex_by_name(targets[0]), salt=seed + 1
+        )
+    return sim
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_snapshot_restore_snapshot_byte_identical(seed):
+    sim = enriched_sim(seed)
+    doc_a = snapshot_state(sim, seq=17)
+    restored = restore_simulator(json.loads(json.dumps(doc_a)))
+    doc_b = snapshot_state(restored, seq=17)
+    blob_a = json.dumps(doc_a, sort_keys=True, separators=(",", ":"))
+    blob_b = json.dumps(doc_b, sort_keys=True, separators=(",", ":"))
+    assert blob_a == blob_b
+
+
+# ----------------------------------------------------------------------
+# replay-divergence diagnostics (satellite: actionable divergence errors)
+# ----------------------------------------------------------------------
+def test_replay_divergence_diagnostics(tmp_path):
+    from repro.recovery.manager import _replay
+
+    sim = saturated_sim()
+    RecoveryManager(str(tmp_path)).attach(sim)
+    for _ in range(4):
+        sim.step()
+    sim.recovery.close()
+    fresh = recover(str(tmp_path))
+    # replay a dispatch the fresh simulator's event heap cannot match
+    bogus = {
+        "type": "dispatch", "seq": 999,
+        "when": 10**9, "kind": "no-such", "ref": -1, "data": None,
+    }
+    with pytest.raises(RecoveryError) as excinfo:
+        _replay(fresh, [bogus])
+    message = str(excinfo.value)
+    assert "expected (journaled)" in message
+    assert "sha256:" in message
+    assert fresh.recovery_stats["replay_divergences"] == 1
+    assert "replay.divergences" not in message  # counter, not prose
+    fresh.run()
+    assert "1 replay divergences" in fresh.report().summary()
