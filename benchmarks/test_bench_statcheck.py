@@ -53,6 +53,34 @@ def test_bench_flow_sweep(benchmark):
     assert violations == []
 
 
+def test_bench_perf_sweep(benchmark):
+    """The fluxhot pass CI pays per push: parse, call graph, hotness join
+    against the checked-in manifest, four PRF rules over the hot set."""
+    from repro.statcheck.hot import DEFAULT_MANIFEST, PerfEngine
+
+    manifest_path = os.path.join(REPO, DEFAULT_MANIFEST)
+
+    def sweep():
+        return PerfEngine().analyze_paths([SRC_REPRO], manifest_path)
+
+    violations, model = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    assert model.hot_functions()  # the manifest ranks a non-empty hot set
+    assert all(v.rule.startswith("PRF") for v in violations)
+
+
+def test_bench_hotprofile(benchmark, tmp_path):
+    """Regenerating the hotspot manifest: the scale workload under
+    cProfile plus the qualname join.  Acceptance bound is loose; this
+    exists to catch the profiler overhead exploding."""
+    from repro.statcheck.hot import run_hotprofile
+
+    def profile():
+        return run_hotprofile(output_path=str(tmp_path / "hotspots.json"))
+
+    document = benchmark.pedantic(profile, rounds=1, iterations=1)
+    assert document["functions"]
+
+
 def test_bench_cache_cold_vs_warm_ratio(tmp_path):
     """Not a timed benchmark: assert the cache actually short-circuits."""
     root = str(tmp_path / "cache")

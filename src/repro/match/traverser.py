@@ -23,7 +23,7 @@ selected paths only — the filters are never recomputed from scratch.
 from __future__ import annotations
 
 from collections.abc import Mapping
-from dataclasses import dataclass, replace
+from dataclasses import replace
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import functools
@@ -81,11 +81,21 @@ def sdfu_charges(
     if not prune_types:
         return updates
 
+    # Sibling selections (cores under one node) share most of their ancestor
+    # walk; cache the filtered ancestor list per vertex for this call.
+    anc_cache: Dict[int, List[ResourceVertex]] = {}
+
     def charge(vertex: ResourceVertex, counts: Dict[str, int]) -> None:
-        for anc in graph.ancestors(vertex, subsystem):
+        ancs = anc_cache.get(vertex.uniq_id)
+        if ancs is None:
+            ancs = [
+                anc
+                for anc in graph.ancestors(vertex, subsystem)
+                if anc.prune_filters is not None
+            ]
+            anc_cache[vertex.uniq_id] = ancs
+        for anc in ancs:
             filters = anc.prune_filters
-            if filters is None:
-                continue
             bucket = updates.setdefault(anc.uniq_id, {})
             for rtype, qty in counts.items():
                 if filters.tracks(rtype):
@@ -152,6 +162,25 @@ class _StatsView(Mapping):
                      for key, counter in self._counters.items()})
 
 
+def _tracked_slice(
+    filters, demand: Dict[str, int], cache: Dict[Tuple[str, ...], Dict[str, int]]
+) -> Dict[str, int]:
+    """The slice of ``demand`` a pruning filter tracks, memoized per filter
+    type-set.
+
+    Filters at the same graph level track identical type sets, so one
+    ``_collect``/``_fill_count`` pass re-derives the same dict thousands of
+    times; keying on ``filters.types`` collapses that to one comprehension
+    per distinct set (PRF001: dict built per visited vertex otherwise).
+    """
+    key = filters.types
+    tracked = cache.get(key)
+    if tracked is None:
+        tracked = {t: n for t, n in demand.items() if n and filters.tracks(t)}
+        cache[key] = tracked
+    return tracked
+
+
 @functools.lru_cache(maxsize=256)
 def _compiled_requires(expression: str):
     from ..resource.expr import compile_expression
@@ -159,12 +188,34 @@ def _compiled_requires(expression: str):
     return compile_expression(expression)
 
 
-@dataclass(frozen=True)
 class Candidate:
-    """A candidate vertex plus the interior vertices crossed to reach it."""
+    """A candidate vertex plus the interior vertices crossed to reach it.
 
-    vertex: ResourceVertex
-    via: Tuple[ResourceVertex, ...] = ()
+    Slotted plain class: ``_collect`` materialises one per matching vertex
+    per dispatch, so the per-instance dict a dataclass would carry is pure
+    hot-path overhead (PRF003).  Treated as immutable.
+    """
+
+    __slots__ = ("vertex", "via")
+
+    def __init__(
+        self,
+        vertex: ResourceVertex,
+        via: Tuple[ResourceVertex, ...] = (),
+    ) -> None:
+        self.vertex = vertex
+        self.via = via
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Candidate):
+            return NotImplemented
+        return self.vertex == other.vertex and self.via == other.via
+
+    def __hash__(self) -> int:
+        return hash((self.vertex, self.via))
+
+    def __repr__(self) -> str:
+        return f"Candidate(vertex={self.vertex!r}, via={self.via!r})"
 
 
 class _Tentative:
@@ -645,12 +696,18 @@ class Traverser:
         per-candidate fallback (no cross-subtree backtracking, mirroring
         Fluxion's one-pass DFS)."""
         needed = request.max_count
+        # demand is fixed for the whole fill, so feasibility checks across
+        # candidates share one tracked-slice cache; _match_requests only
+        # iterates its request list, so one copy serves every candidate.
+        tracked_cache: Dict[Tuple[str, ...], Dict[str, int]] = {}
+        children = list(request.with_)
         if self.policy.needs_full_feasible:
             feasible = [
                 c
                 for c in ordered
                 if self._vertex_fits(
-                    c.vertex, at, duration, exclusive, demand, tentative
+                    c.vertex, at, duration, exclusive, demand, tentative,
+                    tracked_cache,
                 )
             ]
             preference = self.policy.choose(feasible, needed, request) or []
@@ -665,7 +722,8 @@ class Traverser:
             if vertex.uniq_id in used:
                 continue
             if not self._vertex_fits(
-                vertex, at, duration, exclusive, demand, tentative
+                vertex, at, duration, exclusive, demand, tentative,
+                tracked_cache,
             ):
                 continue
             mark = tentative.mark()
@@ -675,8 +733,8 @@ class Traverser:
             tentative.add_x(vertex.uniq_id, X_LIMIT if exclusive else 1)
             out.append(Selection(vertex, amount, exclusive))
             self._book_passthrough(candidate.via, at, duration, tentative, out)
-            if request.with_ and not self._match_requests(
-                vertex, list(request.with_), at, duration, exclusive, tentative, out
+            if children and not self._match_requests(
+                vertex, children, at, duration, exclusive, tentative, out
             ):
                 tentative.rollback(mark)
                 del out[length:]
@@ -727,6 +785,14 @@ class Traverser:
         visits = 0
         filter_hits = 0
         filter_misses = 0
+        # Hot-loop hoists (PRF002): bind per-call invariants to locals so the
+        # DFS body — run once per visited vertex — skips repeated attribute
+        # lookups; memoize the tracked demand slice per filter type-set.
+        prune = self.prune
+        subsystem = self.subsystem
+        children_tuple = graph.children_tuple
+        tentative_x = tentative.x
+        tracked_cache: Dict[Tuple[str, ...], Dict[str, int]] = {}
         try:
             while stack:
                 vertex, via = stack.pop()
@@ -751,24 +817,22 @@ class Traverser:
                     # Exclusively-held vertices close their whole subtree
                     # (§3.4).
                     if (
-                        self._avail_x(vertex, at, duration)
-                        - tentative.x.get(uid, 0)
+                        vertex.xplans.avail_resources_during(at, duration)
+                        - tentative_x.get(uid, 0)
                         < 1
                     ):
                         continue
-                    if self.prune and vertex.prune_filters is not None:
+                    if prune and vertex.prune_filters is not None:
                         filters = vertex.prune_filters
-                        tracked = {
-                            t: n
-                            for t, n in interior_demand.items()
-                            if n and filters.tracks(t)
-                        }
+                        tracked = _tracked_slice(
+                            filters, interior_demand, tracked_cache
+                        )
                         if tracked:
                             if not filters.avail_during(at, duration, tracked):
                                 filter_hits += 1
                                 continue
                             filter_misses += 1
-                children = graph.children_tuple(vertex, self.subsystem)
+                children = children_tuple(vertex, subsystem)
                 next_via = via + (vertex,)
                 for child in reversed(children):
                     if child.uniq_id not in visited:
@@ -792,6 +856,7 @@ class Traverser:
         exclusive: bool,
         demand: Dict[str, int],
         tentative: _Tentative,
+        tracked_cache: Optional[Dict[Tuple[str, ...], Dict[str, int]]] = None,
     ) -> bool:
         uid = vertex.uniq_id
         if exclusive:
@@ -810,7 +875,11 @@ class Traverser:
             and vertex.prune_filters is not None
         ):
             filters = vertex.prune_filters
-            tracked = {t: n for t, n in demand.items() if n and filters.tracks(t)}
+            tracked = _tracked_slice(
+                filters,
+                demand,
+                tracked_cache if tracked_cache is not None else {},
+            )
             if tracked:
                 if not filters.avail_during(at, duration, tracked):
                     self._c_filter_hits.inc()

@@ -8,7 +8,6 @@ underlying resource manager uses to contain, bind and execute the job.  The
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import RecoveryError
@@ -33,7 +32,6 @@ def planner_owner_index(graph: ResourceGraph) -> Dict[int, Tuple[str, str]]:
     return index
 
 
-@dataclass(frozen=True)
 class Selection:
     """One vertex's contribution to an allocation.
 
@@ -42,19 +40,50 @@ class Selection:
     marks a whole-pool exclusive hold; ``passthrough`` marks interior
     vertices on the path between the request level and the selected
     resources.
+
+    Slotted plain class (PRF003): every match emits one Selection per
+    booked vertex, and the per-instance dict a dataclass carries is
+    measurable overhead at fill-the-machine rates.  Treated as immutable.
     """
 
-    vertex: ResourceVertex
-    amount: int
-    exclusive: bool = False
-    passthrough: bool = False
+    __slots__ = ("vertex", "amount", "exclusive", "passthrough")
+
+    def __init__(
+        self,
+        vertex: ResourceVertex,
+        amount: int,
+        exclusive: bool = False,
+        passthrough: bool = False,
+    ) -> None:
+        self.vertex = vertex
+        self.amount = amount
+        self.exclusive = exclusive
+        self.passthrough = passthrough
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Selection):
+            return NotImplemented
+        return (
+            self.vertex == other.vertex
+            and self.amount == other.amount
+            and self.exclusive == other.exclusive
+            and self.passthrough == other.passthrough
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.vertex, self.amount, self.exclusive, self.passthrough))
+
+    def __repr__(self) -> str:
+        return (
+            f"Selection(vertex={self.vertex!r}, amount={self.amount!r}, "
+            f"exclusive={self.exclusive!r}, passthrough={self.passthrough!r})"
+        )
 
     @property
     def type(self) -> str:
         return self.vertex.type
 
 
-@dataclass
 class Allocation:
     """A booked (or reserved) resource set.
 
@@ -69,16 +98,57 @@ class Allocation:
         ``allocate_orelse_reserve``).
     selections:
         Every vertex booked, including shared pass-through vertices.
+    _span_records:
+        (planner-like object, span id) pairs to undo on removal;
+        planner-like is a Planner (vertex plans/xplans) or PlannerMulti
+        (pruning filter).
+
+    Slotted plain class (PRF003): one Allocation per successful match.
+    Mirrors the former (non-frozen) dataclass: equality compares all
+    fields and instances are unhashable.
     """
 
-    alloc_id: int
-    at: int
-    duration: int
-    reserved: bool
-    selections: List[Selection]
-    #: (planner-like object, span id) pairs to undo on removal; planner-like
-    #: is a Planner (vertex plans/xplans) or PlannerMulti (pruning filter).
-    _span_records: List[Tuple[object, int]] = field(default_factory=list, repr=False)
+    __slots__ = (
+        "alloc_id", "at", "duration", "reserved", "selections",
+        "_span_records",
+    )
+
+    def __init__(
+        self,
+        alloc_id: int,
+        at: int,
+        duration: int,
+        reserved: bool,
+        selections: List[Selection],
+        _span_records: Optional[List[Tuple[object, int]]] = None,
+    ) -> None:
+        self.alloc_id = alloc_id
+        self.at = at
+        self.duration = duration
+        self.reserved = reserved
+        self.selections = selections
+        self._span_records = [] if _span_records is None else _span_records
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Allocation):
+            return NotImplemented
+        return (
+            self.alloc_id == other.alloc_id
+            and self.at == other.at
+            and self.duration == other.duration
+            and self.reserved == other.reserved
+            and self.selections == other.selections
+            and self._span_records == other._span_records
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return (
+            f"Allocation(alloc_id={self.alloc_id!r}, at={self.at!r}, "
+            f"duration={self.duration!r}, reserved={self.reserved!r}, "
+            f"selections={self.selections!r})"
+        )
 
     @property
     def end(self) -> int:

@@ -145,7 +145,10 @@ class Planner:
 
     def avail_resources_during(self, at: int, duration: int) -> int:
         """Minimum availability over the window ``[at, at + duration)``."""
-        self._check_window(at, duration)
+        # Fast-path guard: _check_window only ever raises, so call it only
+        # when one of its checks would fail (this query dominates match time).
+        if duration <= 0 or at < self.plan_start or at + duration > self.plan_end:
+            self._check_window(at, duration)
         if self._sp is None:
             return self.total
         governing = self._sp.state_at(at)
@@ -163,7 +166,8 @@ class Planner:
         Short-circuits at the first scheduled point that under-satisfies the
         request, so rejections are cheap.
         """
-        self._check_window(at, duration)
+        if duration <= 0 or at < self.plan_start or at + duration > self.plan_end:
+            self._check_window(at, duration)
         if self._sp is None:
             return request <= self.total
         governing = self._sp.state_at(at)
@@ -292,7 +296,9 @@ class Planner:
         start_point.ref_count += 1
         end_point.ref_count += 1
         if request:
-            for point in list(self._sp.iter_range(start, end)):
+            # Lazy iteration is safe: the loop adjusts point values and the
+            # ET tree only; the SP tree being iterated is never restructured.
+            for point in self._sp.iter_range(start, end):
                 self._et.remove(point)
                 point.in_use += request
                 point.remaining -= request
@@ -309,7 +315,7 @@ class Planner:
         """Release the span with ``span_id`` and return it."""
         span = self.get_span(span_id)
         if span.request:
-            for point in list(self._sp.iter_range(span.start, span.end)):
+            for point in self._sp.iter_range(span.start, span.end):
                 self._et.remove(point)
                 point.in_use -= span.request
                 point.remaining += span.request
@@ -327,8 +333,6 @@ class Planner:
         updated span record.  The span id and start are preserved, so
         callers tracking (planner, span_id) pairs need no changes.
         """
-        from dataclasses import replace as _replace
-
         span = self.get_span(span_id)
         if new_end == span.end:
             return span
@@ -351,7 +355,7 @@ class Planner:
             new_point = self._get_or_create_point(new_end)
             new_point.ref_count += 1
             if request:
-                for point in list(self._sp.iter_range(span.end, new_end)):
+                for point in self._sp.iter_range(span.end, new_end):
                     self._et.remove(point)
                     point.in_use += request
                     point.remaining -= request
@@ -361,13 +365,13 @@ class Planner:
             new_point = self._get_or_create_point(new_end)
             new_point.ref_count += 1
             if request:
-                for point in list(self._sp.iter_range(new_end, span.end)):
+                for point in self._sp.iter_range(new_end, span.end):
                     self._et.remove(point)
                     point.in_use -= request
                     point.remaining += request
                     self._et.insert(point)
         self._release_point(span.end)
-        updated = _replace(span, end=new_end)
+        updated = span.replace(end=new_end)
         self._spans[span_id] = updated
         return updated
 
@@ -533,17 +537,12 @@ class Planner:
             )
 
     def _get_or_create_point(self, time: int) -> ScheduledPoint:
-        if time >= self.plan_end:
-            # A span may legitimately end exactly at the horizon; clamp the
-            # end point to the last representable tick state by creating it
-            # at plan_end (never iterated as part of any window).
-            existing = self._sp.get(time)
-            if existing is not None:
-                return existing
-        else:
-            existing = self._sp.get(time)
-            if existing is not None:
-                return existing
+        # A span may legitimately end exactly at the horizon; the end point
+        # is created at plan_end (never iterated as part of any window) and
+        # its governing state clamps to the last representable tick.
+        existing = self._sp.get(time)
+        if existing is not None:
+            return existing
         governing = self._sp.state_at(min(time, self.plan_end - 1))
         assert governing is not None
         point = ScheduledPoint(time, governing.in_use, governing.remaining)

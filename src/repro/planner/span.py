@@ -9,8 +9,6 @@ its time until the next scheduled point.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 __all__ = ["ScheduledPoint", "Span"]
 
 
@@ -47,19 +45,68 @@ class ScheduledPoint:
         )
 
 
-@dataclass(frozen=True)
 class Span:
     """An allocation of ``request`` units over ``[start, end)``.
 
     Spans are identified by the integer ``span_id`` the Planner hands back
-    from :meth:`~repro.planner.Planner.add_span`.
+    from :meth:`~repro.planner.Planner.add_span`.  Treated as immutable:
+    updates go through :meth:`replace` (slotted plain class rather than a
+    dataclass — planners materialise one per booking on the match hot path,
+    and ``__slots__`` drops the per-instance dict; PRF003).
     """
 
-    span_id: int
-    start: int
-    end: int
-    request: int
-    metadata: dict = field(default_factory=dict, compare=False)
+    __slots__ = ("span_id", "start", "end", "request", "metadata")
+
+    def __init__(
+        self,
+        span_id: int,
+        start: int,
+        end: int,
+        request: int,
+        metadata: dict = None,
+    ) -> None:
+        self.span_id = span_id
+        self.start = start
+        self.end = end
+        self.request = request
+        self.metadata = {} if metadata is None else metadata
+
+    def replace(self, **changes: object) -> "Span":
+        """A copy with ``changes`` applied (dataclasses.replace equivalent)."""
+        fields = {
+            "span_id": self.span_id,
+            "start": self.start,
+            "end": self.end,
+            "request": self.request,
+            "metadata": self.metadata,
+        }
+        unknown = set(changes) - set(fields)
+        if unknown:
+            raise TypeError(f"unexpected span field(s): {sorted(unknown)}")
+        fields.update(changes)
+        return Span(**fields)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Span):
+            return NotImplemented
+        # metadata is carried, not compared — matching the original
+        # dataclass's compare=False field.
+        return (
+            self.span_id == other.span_id
+            and self.start == other.start
+            and self.end == other.end
+            and self.request == other.request
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.span_id, self.start, self.end, self.request))
+
+    def __repr__(self) -> str:
+        return (
+            f"Span(span_id={self.span_id}, start={self.start}, "
+            f"end={self.end}, request={self.request}, "
+            f"metadata={self.metadata})"
+        )
 
     @property
     def duration(self) -> int:

@@ -634,11 +634,9 @@ def apply_corruption(
         registry = vertex.plans._spans
         if not registry:
             return False
-        from dataclasses import replace as _replace
-
         sid = sorted(registry)[rng.randrange(len(registry))]
         span = registry[sid]
-        registry[sid] = _replace(span, end=span.end + 1 + rng.randrange(7))
+        registry[sid] = span.replace(end=span.end + 1 + rng.randrange(7))
         return True
     if kind in ("point", "aggregate"):
         if kind == "point":

@@ -41,6 +41,21 @@ class ResourceGraph:
         Resource-type metadata used to default pool units.
     """
 
+    __slots__ = (
+        "plan_start",
+        "plan_end",
+        "registry",
+        "_vertices",
+        "_next_id",
+        "_id_counters",
+        "_out",
+        "_in",
+        "_edge_count",
+        "_roots_cache",
+        "_children_cache",
+        "prune_types",
+    )
+
     def __init__(
         self,
         plan_start: int = 0,

@@ -2,10 +2,12 @@
 
 Lint results are a pure function of (file content, rule set, lint engine
 version), so they cache perfectly: the key is a SHA-256 over the raw file
-bytes, the normalized path, the ids of the rules being run, and a schema
-constant bumped whenever rule semantics change.  Entries are tiny JSON
-documents under ``.statcheck-cache/`` (one file per key, two-level fanout
-to keep directories small).
+bytes, the normalized path, the ids of the rules being run, a fingerprint
+of the rule *implementations* (the source of every module defining a
+registered rule — editing a rule invalidates the cache without a manual
+schema bump), and a schema constant bumped whenever cache semantics
+change.  Entries are tiny JSON documents under ``.statcheck-cache/`` (one
+file per key, two-level fanout to keep directories small).
 
 The cache is safe under concurrent writers (``--jobs N``): entries are
 written to a temp file and ``os.replace``-d into place, and a corrupt or
@@ -17,6 +19,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import tempfile
 from typing import Iterable, List, Optional
 
@@ -24,10 +27,53 @@ from .core import Violation
 
 __all__ = ["LintCache", "CACHE_SCHEMA_VERSION", "DEFAULT_CACHE_DIR"]
 
-#: bump when a rule's behavior changes so stale entries never resurface
-CACHE_SCHEMA_VERSION = 1
+#: bump when cache entry *semantics* change (rule edits are covered by the
+#: rule-source fingerprint below)
+CACHE_SCHEMA_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".statcheck-cache"
+
+#: memoized module-source digests; workers build one LintCache per file,
+#: so the fingerprint must not re-read rule sources on every construction
+_SOURCE_DIGESTS: dict = {}
+
+
+def _rules_fingerprint(rule_ids: Iterable[str]) -> str:
+    """Digest of the source of every module defining a selected rule.
+
+    Editing or adding a rule changes its module's source, which changes
+    this fingerprint and therefore every cache key — the fix for stale
+    findings being served out of ``.statcheck-cache/`` after a rule edit.
+    Unreadable sources (zipapps, frozen modules) degrade to the module
+    name, keeping the cache usable rather than failing the lint.
+    """
+    import inspect
+
+    from .core import all_rules
+
+    registry = all_rules()
+    modules = sorted(
+        {
+            registry[rule_id].__module__
+            for rule_id in rule_ids
+            if rule_id in registry
+        }
+    )
+    digest = hashlib.sha256()
+    for module_name in modules:
+        cached = _SOURCE_DIGESTS.get(module_name)
+        if cached is None:
+            try:
+                source = inspect.getsource(sys.modules[module_name])
+                cached = hashlib.sha256(source.encode("utf-8")).hexdigest()
+            except (KeyError, OSError, TypeError):
+                cached = f"unreadable:{module_name}"
+            _SOURCE_DIGESTS[module_name] = cached
+        digest.update(module_name.encode("utf-8"))
+        digest.update(b"=")
+        digest.update(cached.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
 
 
 class LintCache:
@@ -39,7 +85,8 @@ class LintCache:
         rule_ids: Optional[Iterable[str]] = None,
     ) -> None:
         self.root = root
-        self.signature = ",".join(sorted(rule_ids or ()))
+        ids = sorted(rule_ids or ())
+        self.signature = ",".join(ids) + "#" + _rules_fingerprint(ids)
         self.hits = 0
         self.misses = 0
 

@@ -17,6 +17,8 @@ Examples::
     python -m repro.statcheck --select DET001 src/   # one rule only
     python -m repro.statcheck --list-rules
     python -m repro.statcheck --dual-run tiny        # FluxSan determinism
+    python -m repro.statcheck --perf src/repro       # profile-guided PRF rules
+    python -m repro.statcheck hotprofile             # regenerate the manifest
 """
 
 from __future__ import annotations
@@ -89,11 +91,14 @@ def _run_dual(preset: str, out: Callable[[str], None]) -> int:
 
 def _list_rules(out: Callable[[str], None]) -> int:
     from .flow.analyses import all_flow_analyses
+    from .hot import all_perf_rules
 
     for rule_id, rule_cls in sorted(all_rules().items()):
         out(f"{rule_id}  {rule_cls.summary}")
     for rule_id, analysis_cls in sorted(all_flow_analyses().items()):
         out(f"{rule_id}  {analysis_cls.summary}  [--flow]")
+    for rule_id, perf_cls in sorted(all_perf_rules().items()):
+        out(f"{rule_id}  {perf_cls.summary}  [--perf]")
     return 0
 
 
@@ -126,25 +131,30 @@ def _changed_files() -> Set[str]:
 
 
 def _split_select(
-    raw: Optional[str], flow_enabled: bool, role: str = "select"
-) -> Tuple[Optional[List[str]], Optional[List[str]]]:
-    """Split a ``--select``/``--ignore`` list into (lint ids, flow ids).
+    raw: Optional[str],
+    flow_enabled: bool,
+    role: str = "select",
+    perf_enabled: bool = False,
+) -> Tuple[Optional[List[str]], Optional[List[str]], Optional[List[str]]]:
+    """Split a ``--select``/``--ignore`` list into (lint, flow, perf) ids.
 
-    Unknown ids raise; *selecting* a flow id without ``--flow`` raises with
-    a hint (ignoring one without ``--flow`` is a harmless no-op).
+    Unknown ids raise; *selecting* a flow/perf id without ``--flow``/
+    ``--perf`` raises with a hint (ignoring one is a harmless no-op).
     """
     from .flow.analyses import all_flow_analyses
+    from .hot import all_perf_rules
 
     if raw is None:
-        return None, None
+        return None, None, None
     ids = [part.strip().upper() for part in raw.split(",") if part.strip()]
     lint_registry = set(all_rules())
     flow_registry = set(all_flow_analyses())
-    unknown = [i for i in ids if i not in lint_registry | flow_registry]
+    perf_registry = set(all_perf_rules())
+    known = lint_registry | flow_registry | perf_registry
+    unknown = [i for i in ids if i not in known]
     if unknown:
         raise FluxionError(
-            f"unknown rule ids: {sorted(set(unknown))}; "
-            f"known: {sorted(lint_registry | flow_registry)}"
+            f"unknown rule ids: {sorted(set(unknown))}; known: {sorted(known)}"
         )
     flow_ids = [i for i in ids if i in flow_registry]
     if flow_ids and not flow_enabled and role == "select":
@@ -152,10 +162,52 @@ def _split_select(
             f"rule ids {sorted(set(flow_ids))} are interprocedural; "
             "add --flow to run them"
         )
-    return [i for i in ids if i in lint_registry], flow_ids
+    perf_ids = [i for i in ids if i in perf_registry]
+    if perf_ids and not perf_enabled and role == "select":
+        raise FluxionError(
+            f"rule ids {sorted(set(perf_ids))} are profile-guided; "
+            "add --perf to run them"
+        )
+    return [i for i in ids if i in lint_registry], flow_ids, perf_ids
+
+
+def _run_hotprofile(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.statcheck hotprofile",
+        description="profile the test_bench_scale workload and write the "
+        "hotspot manifest the --perf mode consumes",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="manifest path (default: statcheck-hotspots.json)",
+    )
+    parser.add_argument("--racks", type=int, default=4)
+    parser.add_argument("--nodes-per-rack", type=int, default=16)
+    args = parser.parse_args(argv)
+
+    from .hot import DEFAULT_MANIFEST
+    from .hot.workload import run_hotprofile
+
+    target = args.output or DEFAULT_MANIFEST
+    document = run_hotprofile(
+        target, racks=args.racks, nodes_per_rack=args.nodes_per_rack
+    )
+    print(
+        f"fluxhot: wrote {target}: {len(document['functions'])} function(s), "
+        f"workload total {document['total_s']:.3f}s"
+    )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    raw_args = list(argv if argv is not None else sys.argv[1:])
+    if raw_args and raw_args[0] == "hotprofile":
+        try:
+            return _run_hotprofile(raw_args[1:])
+        except FluxionError as exc:
+            print(f"fluxhot: error: {exc}", file=sys.stderr)
+            return 2
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.statcheck",
         description="fluxlint static analysis + fluxflow interprocedural "
@@ -182,6 +234,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--flow", action="store_true",
         help="also run the interprocedural fluxflow analyses "
         "(SPAN001, DET002, EXC002, JRN002)",
+    )
+    parser.add_argument(
+        "--perf", action="store_true",
+        help="also run the profile-guided fluxhot perf rules "
+        "(PRF001-PRF004) against the hotspot manifest",
+    )
+    parser.add_argument(
+        "--hotspots", default=None, metavar="FILE",
+        help="hotspot manifest for --perf (default: statcheck-hotspots.json; "
+        "regenerate with 'python -m repro.statcheck hotprofile')",
+    )
+    parser.add_argument(
+        "--hot-report", default=None, metavar="FILE",
+        help="with --perf, also write the ranked hot-path report to FILE",
+    )
+    parser.add_argument(
+        "--hot-threshold", type=float, default=None, metavar="FRACTION",
+        help="hotness threshold for --perf as a fraction of workload time "
+        "(default: 0.01)",
     )
     parser.add_argument(
         "--baseline", default=None, metavar="FILE",
@@ -217,7 +288,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run the FluxSan dual-run nondeterminism check on a preset "
         f"workload ({', '.join(DUAL_RUN_PRESETS)}) and exit",
     )
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw_args)
 
     def out(line: str) -> None:
         print(line)
@@ -252,8 +323,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _run_lint(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     from .core import _expand
 
-    lint_select, flow_select = _split_select(args.select, args.flow)
-    lint_ignore, flow_ignore = _split_select(args.ignore, args.flow, "ignore")
+    lint_select, flow_select, perf_select = _split_select(
+        args.select, args.flow, perf_enabled=args.perf
+    )
+    lint_ignore, flow_ignore, perf_ignore = _split_select(
+        args.ignore, args.flow, "ignore", perf_enabled=args.perf
+    )
 
     engine = LintEngine(select=lint_select, ignore=lint_ignore)
 
@@ -268,7 +343,17 @@ def _run_lint(args: argparse.Namespace, out: Callable[[str], None]) -> int:
 
     changed: Optional[Set[str]] = None
     if args.changed_only:
-        changed = _changed_files()
+        try:
+            changed = _changed_files()
+        except FluxionError as exc:
+            # Outside a git checkout, or detached HEAD with no main
+            # merge-base: fall back to a full scan rather than crash.
+            print(
+                f"fluxlint: warning: --changed-only unavailable ({exc}); "
+                "falling back to a full scan",
+                file=sys.stderr,
+            )
+            changed = None
 
     lint_targets: List[str] = list(args.paths)
     if changed is not None:
@@ -300,6 +385,32 @@ def _run_lint(args: argparse.Namespace, out: Callable[[str], None]) -> int:
                 if os.path.realpath(v.path) in changed
             ]
         violations = sorted(set(violations) | set(flow_violations))
+
+    if args.perf:
+        from .hot import DEFAULT_MANIFEST, HOT_THRESHOLD, PerfEngine
+        from .hot.rules import render_hot_report
+
+        perf_engine = PerfEngine(select=perf_select, ignore=perf_ignore)
+        perf_violations, hot_model = perf_engine.analyze_paths(
+            args.paths,
+            args.hotspots or DEFAULT_MANIFEST,
+            threshold=(
+                args.hot_threshold
+                if args.hot_threshold is not None
+                else HOT_THRESHOLD
+            ),
+        )
+        if changed is not None:
+            perf_violations = [
+                v
+                for v in perf_violations
+                if os.path.realpath(v.path) in changed
+            ]
+        violations = sorted(set(violations) | set(perf_violations))
+        if args.hot_report is not None:
+            with open(args.hot_report, "w", encoding="utf-8") as handle:
+                handle.write(render_hot_report(hot_model))
+                handle.write("\n")
 
     if args.update_baseline:
         from .flow.baseline import save_baseline

@@ -1,0 +1,243 @@
+"""The fluxhot hotness model: profile manifest x fluxflow call graph.
+
+The profile manifest records measured per-function costs (cumulative and
+self seconds, call counts) from one run of the scale workload.  Joining it
+with the call graph assigns every function in the analyzed tree a *hotness
+score* — the fraction of workload wall-clock its subtree accounts for:
+
+* functions present in the manifest carry their measured ``cum_s / total_s``;
+* functions absent from the manifest (below the recording cutoff, or simply
+  not exercised) inherit a decayed share of their hottest caller's score by
+  walking the forward call graph, so a helper only reachable from a hot loop
+  is still ranked hot.
+
+The walk also records a *hot-caller chain* per function — how the hottest
+profiled root reaches it — which the PRF rules print in every finding
+(mirroring the DET002/EXC002 chain diagnostics).
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import FluxionError
+from ..flow.callgraph import CallGraph
+from ..flow.program import FlowProgram
+
+__all__ = [
+    "HOTSPOTS_VERSION",
+    "DEFAULT_MANIFEST",
+    "HOT_THRESHOLD",
+    "CHAIN_DECAY",
+    "HotFunction",
+    "HotModel",
+    "load_hotspots",
+]
+
+HOTSPOTS_VERSION = 1
+
+#: default manifest filename, checked in at the repo root
+DEFAULT_MANIFEST = "statcheck-hotspots.json"
+
+#: a function is *hot* when its subtree accounts for at least this fraction
+#: of the profiled workload's total time
+HOT_THRESHOLD = 0.01
+
+#: score multiplier per call-graph hop for functions absent from the profile
+CHAIN_DECAY = 0.5
+
+
+@dataclass
+class HotFunction:
+    """One function's hotness verdict."""
+
+    qualname: str
+    score: float  # fraction of workload total time (0..1)
+    measured: bool  # True = from the manifest, False = inherited
+    cum_s: float = 0.0
+    self_s: float = 0.0
+    calls: int = 0
+    #: qualname of the caller this function inherited its chain from
+    via: Optional[str] = None
+
+
+def load_hotspots(path: str) -> dict:
+    """Read and validate a ``statcheck-hotspots.json`` manifest."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise FluxionError(
+            f"cannot read hotspot manifest {path}: {exc}; regenerate it with "
+            "'python -m repro.statcheck hotprofile'"
+        )
+    except json.JSONDecodeError as exc:
+        raise FluxionError(f"hotspot manifest {path} is not valid JSON: {exc}")
+    if not isinstance(document, dict) or "functions" not in document:
+        raise FluxionError(
+            f"hotspot manifest {path} malformed: expected an object with "
+            "'functions'"
+        )
+    version = document.get("version")
+    if version != HOTSPOTS_VERSION:
+        raise FluxionError(
+            f"hotspot manifest {path} has unsupported version {version!r} "
+            f"(expected {HOTSPOTS_VERSION})"
+        )
+    for entry in document["functions"]:
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("qualname"), str
+        ):
+            raise FluxionError(
+                f"hotspot manifest {path} malformed: each function needs a "
+                "string 'qualname'"
+            )
+    return document
+
+
+@dataclass
+class HotModel:
+    """Hotness scores and hot-caller chains for one analyzed program."""
+
+    total_s: float
+    workload: str
+    functions: Dict[str, HotFunction] = field(default_factory=dict)
+    threshold: float = HOT_THRESHOLD
+
+    @classmethod
+    def build(
+        cls,
+        program: FlowProgram,
+        graph: CallGraph,
+        manifest: dict,
+        threshold: float = HOT_THRESHOLD,
+    ) -> "HotModel":
+        """Join the manifest with the call graph (see module docstring)."""
+        total = float(manifest.get("total_s") or 0.0)
+        if total <= 0.0:
+            total = sum(
+                float(e.get("self_s", 0.0)) for e in manifest["functions"]
+            ) or 1.0
+        model = cls(
+            total_s=total,
+            workload=str(manifest.get("workload", "")),
+            threshold=threshold,
+        )
+        measured: Dict[str, HotFunction] = {}
+        for entry in manifest["functions"]:
+            qualname = entry["qualname"]
+            if qualname not in program.functions:
+                continue
+            cum = float(entry.get("cum_s", 0.0))
+            measured[qualname] = HotFunction(
+                qualname=qualname,
+                score=min(cum / total, 1.0),
+                measured=True,
+                cum_s=cum,
+                self_s=float(entry.get("self_s", 0.0)),
+                calls=int(entry.get("calls", 0)),
+            )
+        model.functions = dict(measured)
+        model._propagate(graph, measured)
+        return model
+
+    def _propagate(
+        self, graph: CallGraph, measured: Dict[str, HotFunction]
+    ) -> None:
+        """Best-first walk down the forward call graph.
+
+        Measured functions keep their scores; unmeasured callees inherit
+        ``caller_score * CHAIN_DECAY`` (the best such offer wins).  The walk
+        also assigns each reached function its ``via`` caller, which renders
+        as the hot-caller chain.  Deterministic: ties break on qualname.
+        """
+        roots = measured_roots(measured, graph)
+        heap: List[Tuple[float, str]] = [
+            (-info.score, qualname) for qualname, info in measured.items()
+        ]
+        heapq.heapify(heap)
+        done: set = set()
+        while heap:
+            neg_score, qualname = heapq.heappop(heap)
+            if qualname in done:
+                continue
+            done.add(qualname)
+            score = -neg_score
+            for callee in sorted(graph.edges.get(qualname, ())):
+                if callee in done:
+                    continue
+                known = self.functions.get(callee)
+                if known is not None and known.measured:
+                    # Measured callees keep their own score but still take
+                    # the first (hottest) caller for their chain.
+                    if known.via is None and callee not in roots:
+                        known.via = qualname
+                    heapq.heappush(heap, (-known.score, callee))
+                    continue
+                inherited = score * CHAIN_DECAY
+                if known is None or inherited > known.score:
+                    self.functions[callee] = HotFunction(
+                        qualname=callee,
+                        score=inherited,
+                        measured=False,
+                        via=qualname,
+                    )
+                    heapq.heappush(heap, (-inherited, callee))
+
+    # -- queries --------------------------------------------------------
+    def score(self, qualname: str) -> float:
+        info = self.functions.get(qualname)
+        return 0.0 if info is None else info.score
+
+    def is_hot(self, qualname: str) -> bool:
+        return self.score(qualname) >= self.threshold
+
+    def hot_functions(self) -> List[HotFunction]:
+        """Every hot function, hottest first (ties break on qualname)."""
+        return sorted(
+            (f for f in self.functions.values() if f.score >= self.threshold),
+            key=lambda f: (-f.score, f.qualname),
+        )
+
+    def chain(self, qualname: str, limit: int = 16) -> List[str]:
+        """Hot-caller chain ``[root, ..., qualname]`` (qualnames)."""
+        names: List[str] = []
+        current: Optional[str] = qualname
+        seen: set = set()
+        while current is not None and current not in seen and len(names) < limit:
+            seen.add(current)
+            names.append(current)
+            info = self.functions.get(current)
+            current = info.via if info is not None else None
+        names.reverse()
+        return names
+
+    def chain_text(self, qualname: str) -> str:
+        """The chain rendered with short names after the root, e.g.
+        ``repro.match.traverser.Traverser.allocate -> _match_at -> _collect``.
+        """
+        chain = self.chain(qualname)
+        if not chain:
+            return qualname
+        parts = [chain[0]]
+        parts.extend(name.rsplit(".", 1)[-1] for name in chain[1:])
+        return " -> ".join(parts)
+
+
+def measured_roots(
+    functions: Dict[str, HotFunction], graph: CallGraph
+) -> set:
+    """Measured functions with no measured caller — the chain roots."""
+    roots = set()
+    for qualname, info in functions.items():
+        if not info.measured:
+            continue
+        callers = graph.callers_of(qualname)
+        if not any(
+            c in functions and functions[c].measured for c in callers
+        ):
+            roots.add(qualname)
+    return roots

@@ -971,11 +971,15 @@ class TestChangedOnly:
         out = capsys.readouterr().out
         assert "new.py" in out and "old.py" not in out
 
-    def test_git_failure_exits_two(self, tmp_path, monkeypatch, capsys):
+    def test_git_failure_falls_back_to_full_scan(
+        self, tmp_path, monkeypatch, capsys
+    ):
         monkeypatch.chdir(tmp_path)  # not a git repository
         (tmp_path / "a.py").write_text("x = 1\n")
-        assert main(["--changed-only", "."]) == 2
-        assert "error" in capsys.readouterr().err
+        assert main(["--changed-only", "."]) == 0
+        captured = capsys.readouterr()
+        assert "falling back to a full scan" in captured.err
+        assert "fluxlint: OK" in captured.out
 
 
 class TestIntraproceduralUnchanged:

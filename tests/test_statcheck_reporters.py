@@ -16,12 +16,15 @@ from __future__ import annotations
 import json
 import os
 
+import pytest
+
 from repro.statcheck import (
     Violation,
     render_json,
     render_sarif,
     render_text,
 )
+from repro.statcheck.cli import main
 from repro.statcheck.reporters import SARIF_SCHEMA_URI
 
 GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
@@ -139,3 +142,41 @@ class TestGoldenSARIF:
         (run,) = document["runs"]
         assert run["results"] == []
         assert run["tool"]["driver"]["rules"] == []
+
+
+class TestParallelDeterminism:
+    """The machine-readable reporters must emit byte-identical documents
+    whatever ``--jobs`` fan-out produced the violations — CI diffs SARIF
+    uploads, and a worker-ordering leak would churn them on every run."""
+
+    @pytest.fixture()
+    def fixture_tree(self, tmp_path):
+        """A small tree with violations spread over several files so a
+        parallel run actually interleaves workers."""
+        for index in range(6):
+            path = tmp_path / f"mod_{index}.py"
+            path.write_text(
+                "import time\n"
+                f"def f_{index}(x=[]):\n"
+                f"    x.append(time.time())\n"
+                "    return x\n"
+            )
+        return tmp_path
+
+    def _render(self, fixture_tree, fmt, jobs, capsys):
+        code = main(
+            ["--format", fmt, "--jobs", str(jobs), str(fixture_tree)]
+        )
+        assert code == 1
+        return capsys.readouterr().out
+
+    @pytest.mark.parametrize("fmt", ["json", "sarif"])
+    def test_output_identical_across_jobs(self, fixture_tree, capsys, fmt):
+        golden = self._render(fixture_tree, fmt, 1, capsys)
+        for jobs in (2, 4):
+            assert self._render(fixture_tree, fmt, jobs, capsys) == golden
+
+    def test_text_output_identical_across_jobs(self, fixture_tree, capsys):
+        golden = self._render(fixture_tree, "text", 1, capsys)
+        for jobs in (2, 4):
+            assert self._render(fixture_tree, "text", jobs, capsys) == golden
