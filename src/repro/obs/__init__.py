@@ -36,6 +36,7 @@ from .runtime import (
     ACTIVE,
     NULL_OBSERVER,
     Observer,
+    ObserverStateError,
     activate,
     active,
     deactivate,
@@ -47,6 +48,7 @@ from .trace import NULL_TRACER, NullTracer, Tracer, read_jsonl, span_tree
 __all__ = [
     "Observer",
     "NULL_OBSERVER",
+    "ObserverStateError",
     "activate",
     "deactivate",
     "active",

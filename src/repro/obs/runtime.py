@@ -1,28 +1,42 @@
-"""Process-global active observer.
+"""Context-local active observer.
 
 Planner objects are owned by resource vertices, not by the simulator, so
 threading an observer handle down to every ``Planner.avail_time_first``
 call would contaminate a dozen signatures.  Instead the simulator
-activates its observer here for the duration of a run, and planner-layer
-instrumentation reads :data:`ACTIVE` — one module-attribute load on the
-hot path, and the default :data:`~repro.obs.NULL_OBSERVER` makes every
-downstream call a no-op.
+activates its observer here for the duration of a cycle, and
+planner-layer instrumentation reads ``ACTIVE.get()`` — one C-level
+:class:`contextvars.ContextVar` lookup on the hot path, and the default
+:data:`~repro.obs.NULL_OBSERVER` makes every downstream call a no-op.
 
-Nested activation is not supported (last activation wins); simulators
-restore the previous observer on ``deactivate`` so interleaved runs in
-one process stay correct as long as their lifetimes nest.
+:data:`ACTIVE` is a :class:`~contextvars.ContextVar`, so each thread (and
+each asyncio task) sees its own activation: two simulators running
+concurrently on separate threads never observe each other's metrics —
+the first requirement for the scheduling-as-a-service work (ROADMAP
+item 1), and the remediation for fluxrace's RACE001 finding against the
+old process-global ``ACTIVE`` + ``_PREVIOUS`` pair.
+
+Nesting is strict LIFO per context: :func:`activate` returns a token and
+:func:`deactivate` restores the previous observer, raising
+:class:`ObserverStateError` on a misnested or unmatched ``deactivate``
+instead of silently popping the wrong observer.
 """
 
 from __future__ import annotations
 
 import os
-from typing import List
+from contextvars import ContextVar, Token
+from typing import Optional, Tuple
 
+from ..errors import FluxionError
 from .metrics import NULL_REGISTRY, NullRegistry, MetricsRegistry  # noqa: F401
 from .trace import NULL_TRACER, NullTracer, Tracer  # noqa: F401
 
-__all__ = ["Observer", "NULL_OBSERVER", "ACTIVE", "activate", "deactivate",
-           "active", "env_enabled", "resolve"]
+__all__ = ["Observer", "ObserverStateError", "NULL_OBSERVER", "ACTIVE",
+           "activate", "deactivate", "active", "env_enabled", "resolve"]
+
+
+class ObserverStateError(FluxionError):
+    """Raised on a misnested or unmatched observer ``deactivate()``."""
 
 
 class Observer:
@@ -47,28 +61,66 @@ class Observer:
 
 NULL_OBSERVER = Observer(enabled=False)
 
-#: The currently active observer; read directly on hot paths.
-ACTIVE: Observer = NULL_OBSERVER
+#: The active observer for the current thread/task; hot paths call
+#: ``ACTIVE.get()``.
+ACTIVE: "ContextVar[Observer]" = ContextVar(
+    "fluxobs_active", default=NULL_OBSERVER
+)
 
-_PREVIOUS: List[Observer] = []
+#: Per-context stack of activation tokens, used to enforce strict LIFO
+#: nesting.  A tuple (not a list) so each context owns an immutable value —
+#: mutation happens by setting a new tuple, never by aliasing shared state.
+_TOKENS: "ContextVar[Tuple[Token, ...]]" = ContextVar(
+    "fluxobs_tokens", default=()
+)
 
 
-def activate(observer: Observer) -> None:
-    """Make ``observer`` the process-global active observer."""
-    global ACTIVE
-    _PREVIOUS.append(ACTIVE)
-    ACTIVE = observer
+def activate(observer: Observer) -> "Token[Observer]":
+    """Make ``observer`` active for the current context; returns a token.
+
+    Pass the token back to :func:`deactivate` to assert the expected
+    nesting; calling ``deactivate()`` with no token restores the most
+    recent activation in this context.
+    """
+    token = ACTIVE.set(observer)
+    _TOKENS.set(_TOKENS.get() + (token,))
+    return token
 
 
-def deactivate() -> None:
-    """Restore the observer that was active before the last activate()."""
-    global ACTIVE
-    ACTIVE = _PREVIOUS.pop() if _PREVIOUS else NULL_OBSERVER
+def deactivate(token: "Optional[Token[Observer]]" = None) -> None:
+    """Restore the observer active before the matching :func:`activate`.
+
+    Raises :class:`ObserverStateError` when there is no activation to undo
+    in this context, or when ``token`` is not the most recent activation
+    (strict LIFO — a silently mispopped observer would cross-contaminate
+    whoever activated in between).
+    """
+    tokens = _TOKENS.get()
+    if not tokens:
+        raise ObserverStateError(
+            "deactivate() without a matching activate() in this context"
+        )
+    if token is None:
+        token = tokens[-1]
+    elif token is not tokens[-1]:
+        raise ObserverStateError(
+            "misnested deactivate(): the supplied token is not the most "
+            "recent activation in this context; deactivate inner "
+            "activations first"
+        )
+    try:
+        ACTIVE.reset(token)
+    except ValueError as exc:
+        # reset in a different context, or a token used twice
+        raise ObserverStateError(
+            f"observer activation cannot be undone here: {exc}"
+        ) from exc
+    _TOKENS.set(tokens[:-1])
 
 
 def active() -> Observer:
     """The currently active observer (NULL_OBSERVER when none)."""
-    return ACTIVE
+    return ACTIVE.get()
 
 
 def env_enabled() -> bool:

@@ -243,9 +243,14 @@ class NullTracer:
 
     __slots__ = ()
     enabled = False
-    events: List[Dict[str, Any]] = []
 
     _HANDLE: "_NullHandle"
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        # A fresh list per read: an append by a caller can never accumulate
+        # into state shared by every disabled tracer in the process.
+        return []
 
     def begin(
         self,
@@ -299,7 +304,12 @@ class NullTracer:
 
 class _NullHandle:
     __slots__ = ()
-    event: Dict[str, Any] = {}
+
+    @property
+    def event(self) -> Dict[str, Any]:
+        # Writes land in a throwaway dict instead of a class-level one
+        # shared across threads.
+        return {"args": {}}
 
     def __enter__(self) -> "_NullHandle":
         return self

@@ -143,7 +143,7 @@ class PlannerMulti:
         so the loop terminates (it is bounded by the number of scheduled
         points across the bundle).
         """
-        obs = _obs_runtime.ACTIVE
+        obs = _obs_runtime.ACTIVE.get()
         if not obs.enabled:
             return self._avail_search(counts, duration, on_or_after)[0]
         with obs.tracer.span(

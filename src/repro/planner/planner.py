@@ -201,7 +201,7 @@ class Planner:
         SPANOK check are stashed out of the ET tree and the search repeats,
         then the stash is restored.
         """
-        obs = _obs_runtime.ACTIVE
+        obs = _obs_runtime.ACTIVE.get()
         if obs.enabled:
             obs.metrics.counter(
                 "planner.queries", "single-type avail_time_first calls"

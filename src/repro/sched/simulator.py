@@ -989,10 +989,11 @@ class ClusterSimulator:
         if not obs.enabled:
             self._run_cycle()
             return
-        # Planner-layer instrumentation reads the process-global observer
+        # Planner-layer instrumentation reads the context-local observer
         # (planners have no back-pointer to the simulator); activate ours
-        # only while our cycle runs so interleaved simulators stay honest.
-        _obs_runtime.activate(obs)
+        # only while our cycle runs so interleaved simulators stay honest,
+        # and deactivate with the token so misnesting fails loudly.
+        obs_token = _obs_runtime.activate(obs)
         obs.metrics.counter("sim.cycles", "scheduling cycles run").inc()
         obs.tracer.begin(
             "sim.cycle", "sim", vt=float(self.now), policy=self.queue_policy.name
@@ -1001,7 +1002,7 @@ class ClusterSimulator:
             self._run_cycle()
         finally:
             obs.tracer.end()
-            _obs_runtime.deactivate()
+            _obs_runtime.deactivate(obs_token)
 
     def _run_cycle(self) -> None:
         self._crashpoint("cycle.pre")

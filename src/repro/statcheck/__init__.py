@@ -59,6 +59,10 @@ from .flow import (
     register_flow_analysis,
 )
 
+# The race package registers the concurrency-readiness rules
+# (RACE001-RACE004) on import.
+from .race import RaceEngine, all_race_rules, render_race_report
+
 __all__ = [
     "LintEngine",
     "LintParseError",
@@ -77,6 +81,9 @@ __all__ = [
     "all_flow_analyses",
     "analyze_sources",
     "register_flow_analysis",
+    "RaceEngine",
+    "all_race_rules",
+    "render_race_report",
     "FluxSan",
     "DualRunReport",
     "dual_run",

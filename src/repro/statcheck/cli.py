@@ -19,6 +19,8 @@ Examples::
     python -m repro.statcheck --dual-run tiny        # FluxSan determinism
     python -m repro.statcheck --perf src/repro       # profile-guided PRF rules
     python -m repro.statcheck hotprofile             # regenerate the manifest
+    python -m repro.statcheck --race src/repro       # concurrency readiness
+    python -m repro.statcheck --race --race-report fluxrace-report.txt src/repro
 """
 
 from __future__ import annotations
@@ -92,13 +94,23 @@ def _run_dual(preset: str, out: Callable[[str], None]) -> int:
 def _list_rules(out: Callable[[str], None]) -> int:
     from .flow.analyses import all_flow_analyses
     from .hot import all_perf_rules
+    from .race import all_race_rules
 
-    for rule_id, rule_cls in sorted(all_rules().items()):
-        out(f"{rule_id}  {rule_cls.summary}")
-    for rule_id, analysis_cls in sorted(all_flow_analyses().items()):
-        out(f"{rule_id}  {analysis_cls.summary}  [--flow]")
-    for rule_id, perf_cls in sorted(all_perf_rules().items()):
-        out(f"{rule_id}  {perf_cls.summary}  [--perf]")
+    groups = (
+        ("fluxlint AST rules (always on)", all_rules()),
+        ("fluxflow interprocedural analyses (--flow)", all_flow_analyses()),
+        ("fluxhot profile-guided perf rules (--perf)", all_perf_rules()),
+        ("fluxrace concurrency-readiness rules (--race)", all_race_rules()),
+    )
+    for title, registry in groups:
+        out(f"{title}:")
+        for rule_id, rule_cls in sorted(registry.items()):
+            out(f"  {rule_id}  {rule_cls.summary}")
+        out("")
+    out("FluxSan runtime sanitizer (--dual-run PRESET / FLUXSAN=1):")
+    out("  span double-free, exclusive-overlap, SDFU divergence, graph")
+    out("  status sanity, dual-run nondeterminism (runtime checks; no")
+    out("  static rule ids)")
     return 0
 
 
@@ -135,22 +147,32 @@ def _split_select(
     flow_enabled: bool,
     role: str = "select",
     perf_enabled: bool = False,
-) -> Tuple[Optional[List[str]], Optional[List[str]], Optional[List[str]]]:
-    """Split a ``--select``/``--ignore`` list into (lint, flow, perf) ids.
+    race_enabled: bool = False,
+) -> Tuple[
+    Optional[List[str]],
+    Optional[List[str]],
+    Optional[List[str]],
+    Optional[List[str]],
+]:
+    """Split a ``--select``/``--ignore`` list into (lint, flow, perf, race)
+    ids.
 
-    Unknown ids raise; *selecting* a flow/perf id without ``--flow``/
-    ``--perf`` raises with a hint (ignoring one is a harmless no-op).
+    Unknown ids raise; *selecting* a flow/perf/race id without ``--flow``/
+    ``--perf``/``--race`` raises with a hint (ignoring one is a harmless
+    no-op).
     """
     from .flow.analyses import all_flow_analyses
     from .hot import all_perf_rules
+    from .race import all_race_rules
 
     if raw is None:
-        return None, None, None
+        return None, None, None, None
     ids = [part.strip().upper() for part in raw.split(",") if part.strip()]
     lint_registry = set(all_rules())
     flow_registry = set(all_flow_analyses())
     perf_registry = set(all_perf_rules())
-    known = lint_registry | flow_registry | perf_registry
+    race_registry = set(all_race_rules())
+    known = lint_registry | flow_registry | perf_registry | race_registry
     unknown = [i for i in ids if i not in known]
     if unknown:
         raise FluxionError(
@@ -168,7 +190,18 @@ def _split_select(
             f"rule ids {sorted(set(perf_ids))} are profile-guided; "
             "add --perf to run them"
         )
-    return [i for i in ids if i in lint_registry], flow_ids, perf_ids
+    race_ids = [i for i in ids if i in race_registry]
+    if race_ids and not race_enabled and role == "select":
+        raise FluxionError(
+            f"rule ids {sorted(set(race_ids))} are concurrency-readiness "
+            "rules; add --race to run them"
+        )
+    return (
+        [i for i in ids if i in lint_registry],
+        flow_ids,
+        perf_ids,
+        race_ids,
+    )
 
 
 def _run_hotprofile(argv: List[str]) -> int:
@@ -255,6 +288,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default: 0.01)",
     )
     parser.add_argument(
+        "--race", action="store_true",
+        help="also run the concurrency-readiness fluxrace rules "
+        "(RACE001-RACE004) against the service-entrypoint manifest",
+    )
+    parser.add_argument(
+        "--entrypoints", default=None, metavar="FILE",
+        help="service-entrypoint manifest for --race "
+        "(default: statcheck-entrypoints.json)",
+    )
+    parser.add_argument(
+        "--race-report", default=None, metavar="FILE",
+        help="with --race, also write the per-module shared-state "
+        "footprint table to FILE",
+    )
+    parser.add_argument(
         "--baseline", default=None, metavar="FILE",
         help="suppress findings recorded in this baseline file; only new "
         "findings fail the run",
@@ -323,11 +371,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _run_lint(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     from .core import _expand
 
-    lint_select, flow_select, perf_select = _split_select(
-        args.select, args.flow, perf_enabled=args.perf
+    lint_select, flow_select, perf_select, race_select = _split_select(
+        args.select, args.flow, perf_enabled=args.perf,
+        race_enabled=args.race,
     )
-    lint_ignore, flow_ignore, perf_ignore = _split_select(
-        args.ignore, args.flow, "ignore", perf_enabled=args.perf
+    lint_ignore, flow_ignore, perf_ignore, race_ignore = _split_select(
+        args.ignore, args.flow, "ignore", perf_enabled=args.perf,
+        race_enabled=args.race,
     )
 
     engine = LintEngine(select=lint_select, ignore=lint_ignore)
@@ -410,6 +460,25 @@ def _run_lint(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         if args.hot_report is not None:
             with open(args.hot_report, "w", encoding="utf-8") as handle:
                 handle.write(render_hot_report(hot_model))
+                handle.write("\n")
+
+    if args.race:
+        from .race import DEFAULT_ENTRYPOINTS, RaceEngine, render_race_report
+
+        race_engine = RaceEngine(select=race_select, ignore=race_ignore)
+        race_violations, race_model = race_engine.analyze_paths(
+            args.paths, args.entrypoints or DEFAULT_ENTRYPOINTS
+        )
+        if changed is not None:
+            race_violations = [
+                v
+                for v in race_violations
+                if os.path.realpath(v.path) in changed
+            ]
+        violations = sorted(set(violations) | set(race_violations))
+        if args.race_report is not None:
+            with open(args.race_report, "w", encoding="utf-8") as handle:
+                handle.write(render_race_report(race_model))
                 handle.write("\n")
 
     if args.update_baseline:

@@ -1,0 +1,44 @@
+"""fluxrace: whole-program concurrency-readiness analysis.
+
+Before ROADMAP item 1 wraps :class:`~repro.sched.simulator.ClusterSimulator`
+in a long-running multi-tenant service, fluxrace answers mechanically:
+*what state is shared, and who guards it?*  It joins the checked-in
+service-entrypoint manifest (``statcheck-entrypoints.json``) with the
+fluxflow call graph and escape summaries, and runs the RACE001-004 rules
+(see docs/static_analysis.md).  ``statcheck-race-baseline.json`` is the
+ranked de-globalization worklist for the service PR.
+"""
+
+from .model import (
+    DEFAULT_ENTRYPOINTS,
+    ENTRYPOINTS_VERSION,
+    EntryPoint,
+    RaceModel,
+    SharedClassAttr,
+    SharedGlobal,
+    load_entrypoints,
+    render_race_report,
+)
+from .rules import (
+    RaceContext,
+    RaceEngine,
+    RaceRule,
+    all_race_rules,
+    register_race_rule,
+)
+
+__all__ = [
+    "DEFAULT_ENTRYPOINTS",
+    "ENTRYPOINTS_VERSION",
+    "EntryPoint",
+    "RaceModel",
+    "SharedClassAttr",
+    "SharedGlobal",
+    "load_entrypoints",
+    "render_race_report",
+    "RaceContext",
+    "RaceEngine",
+    "RaceRule",
+    "all_race_rules",
+    "register_race_rule",
+]

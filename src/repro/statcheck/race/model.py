@@ -1,0 +1,716 @@
+"""The fluxrace shared-state model: what is shared, and who guards it?
+
+ROADMAP item 1 turns the batch simulator into a long-running multi-tenant
+service; before that lands, every piece of process-global mutable state is
+a tenant-crossing hazard and every blocking call on a request path is a
+stalled event loop.  This module builds the whole-program facts the RACE
+rules consume:
+
+* the **service-entrypoint manifest** (``statcheck-entrypoints.json``) —
+  the checked-in list of functions a scheduling service would expose, and
+  the forward call-graph closure reachable from each one;
+* **shared globals** — module-level mutable containers and class-level
+  mutable attribute literals, with every write site (rebinds, item stores,
+  mutator-method calls) classified as *init-time* (module top level) or
+  *function-scope* (post-init, tenant-visible);
+* **guard annotations** — ``# guarded-by: <lock>`` trailing comments on
+  definitions and ``def`` lines, plus the locks themselves
+  (``threading.Lock()`` / ``RLock()`` at module or instance scope);
+* the per-module **shared-state footprint table** that ``--race-report``
+  renders (the de-globalization worklist for the service PR).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ...errors import FluxionError
+from ..flow.callgraph import CallGraph, walk_own
+from ..flow.program import ClassInfo, FlowProgram, FunctionInfo, ModuleInfo
+
+__all__ = [
+    "ENTRYPOINTS_VERSION",
+    "DEFAULT_ENTRYPOINTS",
+    "EntryPoint",
+    "SharedGlobal",
+    "SharedClassAttr",
+    "WriteSite",
+    "LockInfo",
+    "RaceModel",
+    "load_entrypoints",
+    "render_race_report",
+]
+
+ENTRYPOINTS_VERSION = 1
+
+#: default manifest filename, checked in at the repo root
+DEFAULT_ENTRYPOINTS = "statcheck-entrypoints.json"
+
+#: constructors whose result is a shared-state hazard when module-global
+_MUTABLE_CTORS = {
+    "dict", "list", "set", "bytearray", "defaultdict", "deque",
+    "Counter", "OrderedDict", "ChainMap",
+}
+
+#: method names that mutate their receiver in place (superset of the
+#: JRN001/summaries list; ``set`` is deliberately absent — ContextVar.set
+#: and Gauge.set replace a context-local value, they do not share state)
+MUTATOR_NAMES = {
+    "append", "appendleft", "add", "pop", "popleft", "push", "clear",
+    "remove", "discard", "update", "extend", "insert", "setdefault",
+    "heappush", "heappop", "sort", "reverse",
+}
+
+#: ``# guarded-by: self._lock`` — trailing-comment guard annotation
+_GUARDED_BY = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_.]*)")
+
+_LOCK_CTORS = {"Lock": False, "RLock": True}  # name -> reentrant
+
+
+@dataclass(frozen=True)
+class EntryPoint:
+    """One function the scheduling service would expose."""
+
+    qualname: str
+    kind: str = ""
+
+    @property
+    def short(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+@dataclass(frozen=True)
+class WriteSite:
+    """One function-scope write to a shared name."""
+
+    fn_qualname: str
+    path: str
+    line: int
+    col: int
+    what: str  # e.g. "_CACHE[key] = ...", "_ACTIVE.append(...)"
+    kind: str  # "rebind" | "item" | "mutator" | "attr"
+
+
+@dataclass
+class SharedGlobal:
+    """One module-level binding and everything that touches it.
+
+    Every single-name top-level assignment is tracked (a ``global`` rebind
+    of an immutable binding is the last-activation-wins pattern too); the
+    ``mutable`` flag records whether the bound value is itself a container.
+    """
+
+    module: ModuleInfo
+    name: str
+    line: int
+    col: int
+    ctor: str  # "dict literal", "defaultdict()", "binding"
+    mutable: bool = True
+    guard: Optional[str] = None  # lock text from # guarded-by:
+    writes: List[WriteSite] = field(default_factory=list)
+    #: functions that alias the value outward: returned it, stored it on an
+    #: instance, or passed it to an escaping/unresolved callee
+    escapes: List[Tuple[str, int, str]] = field(default_factory=list)
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module.name}.{self.name}"
+
+
+@dataclass
+class SharedClassAttr:
+    """One class-level mutable attribute literal shared by all instances."""
+
+    class_qualname: str
+    module: ModuleInfo
+    name: str
+    line: int
+    col: int
+    ctor: str
+    guard: Optional[str] = None
+    writes: List[WriteSite] = field(default_factory=list)
+    #: True when some __init__ rebinds ``self.<name>`` (instances own a
+    #: private copy, so the class attribute is only a default)
+    rebound_in_init: bool = False
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.class_qualname}.{self.name}"
+
+
+@dataclass
+class LockInfo:
+    """One known lock object a guard annotation can reference."""
+
+    text: str  # how use sites spell it: "_SAN_LOCK", "self._lock"
+    scope: str  # module name, or class qualname for instance locks
+    reentrant: bool
+    path: str
+    line: int
+
+
+def load_entrypoints(path: str) -> dict:
+    """Read and validate a ``statcheck-entrypoints.json`` manifest."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise FluxionError(
+            f"cannot read entrypoint manifest {path}: {exc}; the --race "
+            "rules need the checked-in service-entrypoint list"
+        )
+    except json.JSONDecodeError as exc:
+        raise FluxionError(
+            f"entrypoint manifest {path} is not valid JSON: {exc}"
+        )
+    if not isinstance(document, dict) or "entrypoints" not in document:
+        raise FluxionError(
+            f"entrypoint manifest {path} malformed: expected an object "
+            "with 'entrypoints'"
+        )
+    version = document.get("version")
+    if version != ENTRYPOINTS_VERSION:
+        raise FluxionError(
+            f"entrypoint manifest {path} has unsupported version "
+            f"{version!r} (expected {ENTRYPOINTS_VERSION})"
+        )
+    for entry in document["entrypoints"]:
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("qualname"), str
+        ):
+            raise FluxionError(
+                f"entrypoint manifest {path} malformed: each entrypoint "
+                "needs a string 'qualname'"
+            )
+    return document
+
+
+class RaceModel:
+    """Whole-program shared-state facts for one analyzed tree."""
+
+    def __init__(self, program: FlowProgram, graph: CallGraph) -> None:
+        self.program = program
+        self.graph = graph
+        self.entrypoints: List[EntryPoint] = []
+        self.missing_entrypoints: List[str] = []
+        #: entrypoint qualname -> every qualname reachable from it
+        self.reachable: Dict[str, Set[str]] = {}
+        #: entrypoint qualname -> {reached: caller} parent map (chains)
+        self.parents: Dict[str, Dict[str, Optional[str]]] = {}
+        #: global qualname -> SharedGlobal
+        self.globals: Dict[str, SharedGlobal] = {}
+        #: attr qualname -> SharedClassAttr
+        self.class_attrs: Dict[str, SharedClassAttr] = {}
+        #: (module name, line) -> guard lock text
+        self.guard_lines: Dict[Tuple[str, int], str] = {}
+        #: function qualname -> lock text its def line is annotated with
+        self.fn_guards: Dict[str, str] = {}
+        self.locks: List[LockInfo] = []
+        #: lock text -> reentrant?  (annotation-referenced or discovered)
+        self.lock_reentrant: Dict[str, bool] = {}
+        #: module name -> entrypoint-reachable blocking call sites (RACE002
+        #: fills this; the --race-report footprint table renders it)
+        self.blocking_by_module: Dict[str, int] = {}
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        program: FlowProgram,
+        graph: CallGraph,
+        manifest: dict,
+    ) -> "RaceModel":
+        model = cls(program, graph)
+        model._load_manifest(manifest)
+        model._collect_guards()
+        model._collect_globals()
+        model._collect_class_attrs()
+        model._collect_writes()
+        model._compute_reachability()
+        return model
+
+    def _load_manifest(self, manifest: dict) -> None:
+        for entry in manifest.get("entrypoints", []):
+            point = EntryPoint(
+                qualname=entry["qualname"], kind=str(entry.get("kind", ""))
+            )
+            if point.qualname in self.program.functions:
+                self.entrypoints.append(point)
+            else:
+                self.missing_entrypoints.append(point.qualname)
+
+    # -- guard annotations and locks ------------------------------------
+    def _collect_guards(self) -> None:
+        for info in self.program.modules.values():
+            for lineno, text in enumerate(
+                info.source_module.lines, start=1
+            ):
+                if "guarded-by" not in text:
+                    continue
+                match = _GUARDED_BY.search(text)
+                if match:
+                    self.guard_lines[(info.name, lineno)] = match.group(1)
+        for fn in self.program.functions.values():
+            guard = self._guard_at(fn.module, fn.node.lineno)
+            if guard is not None:
+                self.fn_guards[fn.qualname] = guard
+        self._collect_locks()
+
+    def _guard_at(self, module: ModuleInfo, line: int) -> Optional[str]:
+        return self.guard_lines.get((module.name, line))
+
+    def _collect_locks(self) -> None:
+        for info in self.program.modules.values():
+            for node in info.tree.body:
+                if not (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    continue
+                reentrant = _lock_ctor(node.value)
+                if reentrant is None:
+                    continue
+                name = node.targets[0].id
+                self.locks.append(
+                    LockInfo(name, info.name, reentrant, info.path,
+                             node.lineno)
+                )
+                self.lock_reentrant.setdefault(name, reentrant)
+        for ci in self.program.classes.values():
+            init = ci.methods.get("__init__")
+            if init is None:
+                continue
+            for stmt in walk_own(init.node):
+                if not (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and _is_self_attr(stmt.targets[0])
+                ):
+                    continue
+                reentrant = _lock_ctor(stmt.value)
+                if reentrant is None:
+                    continue
+                text = f"self.{stmt.targets[0].attr}"
+                self.locks.append(
+                    LockInfo(text, ci.qualname, reentrant,
+                             ci.module.path, stmt.lineno)
+                )
+                self.lock_reentrant.setdefault(text, reentrant)
+
+    # -- shared globals --------------------------------------------------
+    def _collect_globals(self) -> None:
+        for info in self.program.modules.values():
+            for node in info.tree.body:
+                target, value = _single_name_assign(node)
+                if target is None or value is None:
+                    continue
+                if target.id.startswith("__") and target.id.endswith("__"):
+                    continue
+                ctor = _mutable_ctor(value)
+                shared = SharedGlobal(
+                    module=info,
+                    name=target.id,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    ctor=ctor or "binding",
+                    mutable=ctor is not None,
+                    guard=self._guard_at(info, node.lineno),
+                )
+                self.globals[shared.qualname] = shared
+
+    def _collect_class_attrs(self) -> None:
+        for ci in self.program.classes.values():
+            init = ci.methods.get("__init__")
+            rebound: Set[str] = set()
+            if init is not None:
+                for stmt in walk_own(init.node):
+                    if isinstance(stmt, ast.Assign):
+                        for tgt in stmt.targets:
+                            if _is_self_attr(tgt):
+                                rebound.add(tgt.attr)
+                    elif isinstance(stmt, ast.AnnAssign) and _is_self_attr(
+                        stmt.target
+                    ):
+                        rebound.add(stmt.target.attr)
+            for stmt in ci.node.body:
+                target, value = _single_name_assign(stmt)
+                if target is None or value is None:
+                    continue
+                if target.id.startswith("__") and target.id.endswith("__"):
+                    continue
+                ctor = _mutable_ctor(value)
+                if ctor is None:
+                    continue
+                attr = SharedClassAttr(
+                    class_qualname=ci.qualname,
+                    module=ci.module,
+                    name=target.id,
+                    line=stmt.lineno,
+                    col=stmt.col_offset,
+                    ctor=ctor,
+                    guard=self._guard_at(ci.module, stmt.lineno),
+                    rebound_in_init=target.id in rebound,
+                )
+                self.class_attrs[attr.qualname] = attr
+
+    # -- write/escape sites ----------------------------------------------
+    def _collect_writes(self) -> None:
+        for fn in self.program.functions.values():
+            self._scan_function(fn)
+
+    def resolve_global(
+        self, fn: FunctionInfo, parts: Sequence[str]
+    ) -> Optional[SharedGlobal]:
+        """Resolve a dotted reference inside ``fn`` to a tracked global.
+
+        Handles the in-module bare name (unless shadowed by a local), the
+        from-import alias, and the ``mod.NAME`` module-attribute form.
+        """
+        if not parts:
+            return None
+        info = fn.module
+        head = parts[0]
+        # bare name in the defining module
+        if len(parts) == 1:
+            shared = self.globals.get(f"{info.name}.{head}")
+            if shared is not None:
+                return shared
+            alias = info.import_names.get(head)
+            if alias is not None:
+                return self.globals.get(f"{alias[0]}.{alias[1]}")
+            return None
+        # mod.NAME / pkg.mod.NAME through the import maps
+        if head in info.import_modules or head in info.import_names:
+            resolved = self.program.resolve_dotted(info, list(parts[:-1]))
+            if isinstance(resolved, ModuleInfo):
+                return self.globals.get(f"{resolved.name}.{parts[-1]}")
+        return None
+
+    def shadowed_names(self, fn: FunctionInfo) -> Set[str]:
+        """Names a bare Load inside ``fn`` resolves locally, not globally."""
+        declared_global: Set[str] = set()
+        local_stores: Set[str] = set()
+        for node in walk_own(fn.node):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                local_stores.add(node.id)
+        return (local_stores - declared_global) | set(fn.params)
+
+    def _scan_function(self, fn: FunctionInfo) -> None:
+        declared_global: Set[str] = set()
+        for node in walk_own(fn.node):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        shadowed = self.shadowed_names(fn)
+
+        def target_global(expr: ast.AST) -> Optional[SharedGlobal]:
+            parts = _dotted_parts(expr)
+            if parts is None:
+                return None
+            if len(parts) == 1 and parts[0] in shadowed:
+                return None
+            return self.resolve_global(fn, parts)
+
+        for node in walk_own(fn.node):
+            # global NAME; NAME = ...  — rebinding process state
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                if node.id in declared_global:
+                    shared = self.globals.get(
+                        f"{fn.module.name}.{node.id}"
+                    )
+                    if shared is not None:
+                        self._record_write(
+                            shared, fn, node, f"global {node.id} rebound",
+                            "rebind",
+                        )
+            # NAME[...] = / del NAME[...] / NAME[...] += ...
+            elif isinstance(node, ast.Subscript) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                shared = target_global(node.value)
+                if shared is not None:
+                    self._record_write(
+                        shared, fn, node, f"{_describe(node)} = ...", "item"
+                    )
+                self._record_attr_item_write(fn, node)
+            # NAME.append(...) and friends
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr not in MUTATOR_NAMES:
+                    continue
+                shared = target_global(node.func.value)
+                if shared is not None:
+                    self._record_write(
+                        shared, fn, node, f"{_describe(node.func)}(...)",
+                        "mutator",
+                    )
+                self._record_attr_mutator(fn, node)
+
+    def _record_write(
+        self,
+        shared: SharedGlobal,
+        fn: FunctionInfo,
+        node: ast.AST,
+        what: str,
+        kind: str,
+    ) -> None:
+        shared.writes.append(
+            WriteSite(
+                fn_qualname=fn.qualname,
+                path=fn.module.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                what=what,
+                kind=kind,
+            )
+        )
+
+    # class-attribute mutation: self.X.append / Cls.X.append / Cls.X[k]=
+    def _attr_target(
+        self, fn: FunctionInfo, expr: ast.AST
+    ) -> Optional[SharedClassAttr]:
+        if not isinstance(expr, ast.Attribute):
+            return None
+        base, attr = expr.value, expr.attr
+        ci = fn.class_info
+        if isinstance(base, ast.Name):
+            if base.id in ("self", "cls") and ci is not None:
+                return self.class_attrs.get(f"{ci.qualname}.{attr}")
+            resolved = self.program.resolve_dotted(fn.module, [base.id])
+            if isinstance(resolved, ClassInfo):
+                return self.class_attrs.get(f"{resolved.qualname}.{attr}")
+        return None
+
+    def _record_attr_mutator(self, fn: FunctionInfo, node: ast.Call) -> None:
+        attr = self._attr_target(fn, node.func.value)
+        if attr is not None:
+            attr.writes.append(
+                WriteSite(
+                    fn_qualname=fn.qualname,
+                    path=fn.module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    what=f"{_describe(node.func)}(...)",
+                    kind="mutator",
+                )
+            )
+
+    def _record_attr_item_write(
+        self, fn: FunctionInfo, node: ast.Subscript
+    ) -> None:
+        attr = self._attr_target(fn, node.value)
+        if attr is not None:
+            attr.writes.append(
+                WriteSite(
+                    fn_qualname=fn.qualname,
+                    path=fn.module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    what=f"{_describe(node)} = ...",
+                    kind="item",
+                )
+            )
+
+    # -- reachability ----------------------------------------------------
+    def _compute_reachability(self) -> None:
+        for point in self.entrypoints:
+            parents: Dict[str, Optional[str]] = {point.qualname: None}
+            queue = [point.qualname]
+            while queue:
+                current = queue.pop(0)
+                for callee in sorted(self.graph.edges.get(current, ())):
+                    if callee not in parents:
+                        parents[callee] = current
+                        queue.append(callee)
+            self.parents[point.qualname] = parents
+            self.reachable[point.qualname] = set(parents)
+
+    def roots_reaching(self, qualname: str) -> List[str]:
+        """Entrypoints whose closure contains ``qualname``, sorted."""
+        return sorted(
+            entry for entry, closure in self.reachable.items()
+            if qualname in closure
+        )
+
+    def chain(self, entry: str, qualname: str, limit: int = 16) -> str:
+        """``entry -> ... -> qualname`` rendered with short tail names."""
+        parents = self.parents.get(entry, {})
+        names: List[str] = []
+        current: Optional[str] = qualname
+        while current is not None and len(names) < limit:
+            names.append(current)
+            current = parents.get(current)
+        names.reverse()
+        if not names:
+            return qualname
+        parts = [names[0]]
+        parts.extend(name.rsplit(".", 1)[-1] for name in names[1:])
+        return " -> ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _single_name_assign(
+    node: ast.AST,
+) -> Tuple[Optional[ast.Name], Optional[ast.expr]]:
+    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+        target = node.targets[0]
+        if isinstance(target, ast.Name):
+            return target, node.value
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        if isinstance(node.target, ast.Name):
+            return node.target, node.value
+    return None, None
+
+
+def _mutable_ctor(value: ast.expr) -> Optional[str]:
+    """A human label when ``value`` builds a mutable container, else None.
+
+    Empty literals count (they are the memo-dict pattern); calls count when
+    the callee is a known mutable constructor by (last) name.
+    """
+    if isinstance(value, ast.Dict):
+        return "dict literal"
+    if isinstance(value, ast.List):
+        return "list literal"
+    if isinstance(value, ast.Set):
+        return "set literal"
+    if isinstance(value, (ast.ListComp, ast.SetComp, ast.DictComp)):
+        return f"{type(value).__name__}"
+    if isinstance(value, ast.Call):
+        name: Optional[str] = None
+        if isinstance(value.func, ast.Name):
+            name = value.func.id
+        elif isinstance(value.func, ast.Attribute):
+            name = value.func.attr
+        if name in _MUTABLE_CTORS:
+            return f"{name}()"
+    return None
+
+
+def _lock_ctor(value: ast.expr) -> Optional[bool]:
+    """True/False (reentrant?) when ``value`` constructs a lock, else None."""
+    if not isinstance(value, ast.Call):
+        return None
+    name: Optional[str] = None
+    if isinstance(value.func, ast.Name):
+        name = value.func.id
+    elif isinstance(value.func, ast.Attribute):
+        name = value.func.attr
+    if name in _LOCK_CTORS:
+        return _LOCK_CTORS[name]
+    return None
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _dotted_parts(node: ast.AST) -> Optional[List[str]]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def _describe(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on our inputs
+        return "<expr>"
+
+
+# ---------------------------------------------------------------------------
+# the --race-report footprint table
+# ---------------------------------------------------------------------------
+
+
+def render_race_report(model: RaceModel, blocking_by_module=None) -> str:
+    """Per-module shared-state footprint: the de-globalization worklist.
+
+    ``blocking_by_module`` is the RACE002 rule's {module name: count} of
+    entrypoint-reachable blocking call sites (defaults to what the last
+    engine run recorded on the model).
+    """
+    if blocking_by_module is None:
+        blocking_by_module = model.blocking_by_module
+    rows: Dict[str, List[int]] = {}
+
+    def row(module_name: str) -> List[int]:
+        # [globals, guarded, written-post-init, escaped, blocking]
+        return rows.setdefault(module_name, [0, 0, 0, 0, 0])
+
+    for shared in model.globals.values():
+        if not (shared.mutable or shared.writes):
+            continue  # an untouched immutable binding is not shared state
+        counters = row(shared.module.name)
+        counters[0] += 1
+        if shared.guard is not None:
+            counters[1] += 1
+        if shared.writes:
+            counters[2] += 1
+        if shared.escapes:
+            counters[3] += 1
+    for attr in model.class_attrs.values():
+        if attr.rebound_in_init or not attr.writes:
+            continue
+        counters = row(attr.module.name)
+        counters[0] += 1
+        if attr.guard is not None:
+            counters[1] += 1
+        counters[2] += 1
+    for module_name, count in blocking_by_module.items():
+        row(module_name)[4] += count
+
+    lines = [
+        "fluxrace shared-state footprint — "
+        f"{len(model.program.modules)} module(s), "
+        f"{len(model.entrypoints)} service entrypoint(s)",
+        "",
+        f"{'module':<44} {'globals':>7} {'guarded':>7} "
+        f"{'written':>7} {'escaped':>7} {'blocking':>8}",
+    ]
+    interesting = {
+        name: counters
+        for name, counters in rows.items()
+        if any(counters)
+    }
+    for name in sorted(
+        interesting,
+        key=lambda n: (-(interesting[n][2] + interesting[n][4]), n),
+    ):
+        g, gd, w, e, b = interesting[name]
+        lines.append(
+            f"{name:<44} {g:>7} {gd:>7} {w:>7} {e:>7} {b:>8}"
+        )
+    if not interesting:
+        lines.append("(no shared mutable state found)")
+    lines.append("")
+    lines.append("entrypoints:")
+    for point in model.entrypoints:
+        kind = f" [{point.kind}]" if point.kind else ""
+        lines.append(f"  {point.qualname}{kind}")
+    for missing in model.missing_entrypoints:
+        lines.append(f"  {missing} (NOT FOUND in the analyzed tree)")
+    return "\n".join(lines)

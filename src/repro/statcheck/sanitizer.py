@@ -42,6 +42,7 @@ from __future__ import annotations
 # MetricsRegistry would make the sanitizer depend on the layer it audits.
 # fluxlint: disable-file=OBS001
 
+import threading
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -60,6 +61,11 @@ __all__ = ["FluxSan", "DualRunReport", "dual_run"]
 _FREED_SITE_LIMIT = 1024
 
 _SKIP_SITE_FRAGMENTS = ("statcheck/sanitizer", "repro/planner/")
+
+#: serializes proxy (un)installation and the active-instance list —
+#: class-level patching is inherently process-wide, so concurrent
+#: activations from two threads must not interleave
+_SAN_LOCK = threading.Lock()
 
 
 def _call_site() -> str:
@@ -85,8 +91,8 @@ class FluxSan:
     renders them.
     """
 
-    _active: List["FluxSan"] = []
-    _originals: Dict[Tuple[type, str], Callable] = {}
+    _active: List["FluxSan"] = []  # guarded-by: _SAN_LOCK
+    _originals: Dict[Tuple[type, str], Callable] = {}  # guarded-by: _SAN_LOCK
 
     def __init__(
         self,
@@ -119,18 +125,20 @@ class FluxSan:
 
     def activate(self) -> "FluxSan":
         """Install the checking proxies (refcounted; idempotent per instance)."""
-        if self not in FluxSan._active:
-            if not FluxSan._active:
-                _install_proxies()
-            FluxSan._active.append(self)
+        with _SAN_LOCK:
+            if self not in FluxSan._active:
+                if not FluxSan._active:
+                    _install_proxies()
+                FluxSan._active.append(self)
         return self
 
     def deactivate(self) -> None:
         """Remove this instance; restores originals when none remain active."""
-        if self in FluxSan._active:
-            FluxSan._active.remove(self)
-            if not FluxSan._active:
-                _uninstall_proxies()
+        with _SAN_LOCK:
+            if self in FluxSan._active:
+                FluxSan._active.remove(self)
+                if not FluxSan._active:
+                    _uninstall_proxies()
 
     def __enter__(self) -> "FluxSan":
         return self.activate()
@@ -374,7 +382,7 @@ def _render_charges(
 # ----------------------------------------------------------------------
 # class-level proxies
 # ----------------------------------------------------------------------
-def _install_proxies() -> None:
+def _install_proxies() -> None:  # guarded-by: _SAN_LOCK
     _patch(Planner, "rem_span", _wrap_rem_span)
     _patch(Planner, "add_span", _wrap_add_span)
     _patch(PlannerMulti, "rem_span", _wrap_rem_span)
@@ -385,14 +393,14 @@ def _install_proxies() -> None:
     _patch(ResourceGraph, "mark_up", _wrap_mark("up"))
 
 
-def _patch(cls: type, name: str, factory: Callable) -> None:
+def _patch(cls: type, name: str, factory: Callable) -> None:  # guarded-by: _SAN_LOCK
     key = (cls, name)
     original = cls.__dict__[name]
     FluxSan._originals[key] = original
     setattr(cls, name, factory(original))
 
 
-def _uninstall_proxies() -> None:
+def _uninstall_proxies() -> None:  # guarded-by: _SAN_LOCK
     for (cls, name), original in FluxSan._originals.items():
         setattr(cls, name, original)
     FluxSan._originals.clear()

@@ -4,6 +4,8 @@ trace export, determinism of the virtual-time event sequence)."""
 
 import io
 import json
+import re
+import threading
 
 import pytest
 
@@ -17,6 +19,7 @@ from repro.obs import (
     NULL_REGISTRY,
     NULL_TRACER,
     Observer,
+    ObserverStateError,
     Profile,
     Tracer,
     WallTimer,
@@ -251,6 +254,48 @@ class TestRuntime:
             wall_now()
         assert timer.elapsed >= 0.0
 
+    def test_activate_returns_token_for_strict_unwind(self):
+        obs = Observer(enabled=True)
+        token = activate(obs)
+        assert active() is obs
+        deactivate(token)
+        assert active() is NULL_OBSERVER
+
+    def test_deactivate_without_activation_raises(self):
+        with pytest.raises(ObserverStateError, match="without a matching"):
+            deactivate()
+
+    def test_misnested_deactivate_raises(self):
+        outer = activate(Observer(enabled=True))
+        inner = activate(Observer(enabled=True))
+        with pytest.raises(ObserverStateError, match="misnested"):
+            deactivate(outer)
+        # the stack is intact: unwinding in LIFO order still works
+        deactivate(inner)
+        deactivate(outer)
+        assert active() is NULL_OBSERVER
+
+    def test_activation_is_thread_local(self):
+        """One thread's activation must never leak into another."""
+        seen = {}
+        ready = threading.Barrier(2)
+
+        def worker(name):
+            ready.wait()
+            token = activate(Observer(enabled=True))
+            seen[name] = active()
+            deactivate(token)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen["a"] is not seen["b"]
+        assert active() is NULL_OBSERVER
+
 
 # ----------------------------------------------------------------------
 # simulator integration
@@ -388,3 +433,54 @@ class TestCli:
         with good.span("a"):
             pass
         assert validate_chrome(good.to_chrome()) == []
+
+
+# ----------------------------------------------------------------------
+# concurrency: independent simulators on separate threads
+# ----------------------------------------------------------------------
+def run_workload(variant):
+    """One observed simulation; the two variants differ in job mix so any
+    cross-thread contamination of metrics or spans changes the output."""
+    sim = ClusterSimulator(
+        tiny_cluster(racks=2, nodes_per_rack=4, cores=4),
+        queue="easy",
+        observe=True,
+    )
+    jobs, stride = (6, 5) if variant == "a" else (9, 3)
+    for i in range(jobs):
+        sim.submit(
+            nodes_jobspec(2 + i % 3, duration=40 + 15 * i), at=stride * i
+        )
+    report = sim.run()
+    fingerprint = json.dumps(
+        sim.obs.tracer.virtual_sequence(), sort_keys=True
+    )
+    # the summary's wall-clock "sched time" differs between any two runs,
+    # serial or not; everything else (job stats, metric counts, the full
+    # virtual-time span sequence) must be byte-identical
+    summary = re.sub(r"sched time=[0-9.]+s", "sched time=X", report.summary())
+    return summary + "\n" + fingerprint
+
+
+class TestConcurrentSimulators:
+    def test_threaded_runs_match_serial_runs_byte_for_byte(self):
+        """Two independent simulators on two threads produce exactly the
+        reports their serial runs produce: the context-local observer
+        means neither thread sees the other's metrics or spans."""
+        serial = {v: run_workload(v) for v in ("a", "b")}
+        threaded = {}
+        ready = threading.Barrier(2)
+
+        def run(variant):
+            ready.wait()  # maximize interleaving of the two cycles
+            threaded[variant] = run_workload(variant)
+
+        threads = [
+            threading.Thread(target=run, args=(v,)) for v in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert threaded == serial
+        assert active() is NULL_OBSERVER
