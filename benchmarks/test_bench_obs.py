@@ -87,3 +87,49 @@ def test_obs_overhead_within_budget(benchmark):
         f"observed run {enabled_ratio:.2f}x baseline "
         f"({obs_best:.4f}s vs {base_best:.4f}s)"
     )
+
+
+def run_why_workload(why):
+    """Observed run with the decision recorder on (default) or off."""
+    from repro.obs import Observer
+
+    sim = ClusterSimulator(
+        tiny_cluster(racks=4, nodes_per_rack=8, cores=8),
+        queue="conservative",
+        observe=Observer(why=why),
+    )
+    for i in range(40):
+        sim.submit(nodes_jobspec(1 + i % 6, duration=40 + 7 * (i % 9)), at=3 * i)
+    return sim, sim.run()
+
+
+def test_bench_why_recorder_overhead(benchmark):
+    """Decision-recorder overhead: enabled vs Observer(why=False).
+
+    The disabled path must stay inside the existing obs budget — every
+    recorder site is one hoisted ``why.enabled`` load plus a no-op call
+    on the NULL_WHY singleton, so the target is ~0%; the enabled path
+    adds dict/tuple work only on prune/fail events and is allowed a few
+    percent.  As above, the asserted bound is deliberately loose for CI
+    jitter; precise ratios land in ``extra_info``.
+    """
+    rounds = 5
+    off_best, off_all = _best_of(rounds, lambda: run_why_workload(False))
+    on_best, on_all = _best_of(rounds, lambda: run_why_workload(True))
+    ratio = on_best / off_best
+    benchmark.extra_info.update(
+        recorder_off_s=round(off_best, 4),
+        recorder_on_s=round(on_best, 4),
+        recorder_ratio=round(ratio, 3),
+        recorder_off_median_s=round(statistics.median(off_all), 4),
+        recorder_on_median_s=round(statistics.median(on_all), 4),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert ratio < 1.5, (
+        f"recorder-enabled run {ratio:.2f}x disabled "
+        f"({on_best:.4f}s vs {off_best:.4f}s)"
+    )
+    sim, report = run_why_workload(True)
+    assert report.provenance is not None
+    sim, report = run_why_workload(False)
+    assert report.provenance is None

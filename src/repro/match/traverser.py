@@ -378,6 +378,9 @@ class Traverser:
                     raise
                 self._c_deadline.inc()
                 self._c_failed.inc()
+                why = self.obs.why
+                if why.enabled:
+                    why.fail("deadline", scope=exc.scope)
                 return None
             if selections is None:
                 self._c_failed.inc()
@@ -405,6 +408,9 @@ class Traverser:
                     raise
                 self._c_deadline.inc()
                 self._c_failed.inc()
+                why = self.obs.why
+                if why.enabled:
+                    why.fail("deadline", scope=exc.scope)
                 return None
 
     def _reserve_search(
@@ -419,8 +425,11 @@ class Traverser:
         # additionally *jump* the candidate time forward with the paper's
         # PlannerMultiAvailTimeFirst: times whose aggregate availability
         # cannot cover the request totals are skipped wholesale (§3.4, §4.1).
+        why = self.obs.why
         horizon = self.graph.plan_end - duration
         if now > horizon:
+            if why.enabled:
+                why.fail("horizon", now=now, horizon=horizon)
             return None
         prefilters = [
             (root.prune_filters, {
@@ -444,12 +453,21 @@ class Traverser:
                     t = filters.avail_time_first(tracked, duration, candidate)
                     if t is None:
                         self._c_failed.inc()
+                        if why.enabled:
+                            why.fail(
+                                "planner_time", after=candidate,
+                                types=",".join(sorted(tracked)),
+                            )
                         return None
                     if t > candidate:
                         candidate = t
                         stable = False
             if candidate > horizon:
                 self._c_failed.inc()
+                if why.enabled:
+                    why.fail(
+                        "planner_time", candidate=candidate, horizon=horizon
+                    )
                 return None
             selections = self._match_at(candidate, duration, jobspec)
             if selections is not None:
@@ -476,6 +494,8 @@ class Traverser:
                 "candidate times"
             )
         self._c_failed.inc()
+        if why.enabled:
+            why.fail("reserve_exhausted", last_candidate=candidate)
         return None
 
     def reserve(self, jobspec: Jobspec, earliest: int = 0) -> Optional[Allocation]:
@@ -561,6 +581,12 @@ class Traverser:
     ) -> Optional[List[Selection]]:
         """Match the whole jobspec at time ``at`` (None = capacity mode)."""
         if at is not None and at + duration > self.graph.plan_end:
+            why = self.obs.why
+            if why.enabled:
+                why.fail(
+                    "horizon", at=at, duration=duration,
+                    plan_end=self.graph.plan_end,
+                )
             return None
         tentative = _Tentative()
         out: List[Selection] = []
@@ -618,8 +644,19 @@ class Traverser:
     ) -> bool:
         exclusive = request.effective_exclusive(exclusive_ctx)
         demand = self._unit_demand(request)
+        why = self.obs.why
+        pre = why.mark() if why.enabled else 0
         candidates = self._collect(parent, request, at, duration, tentative, demand)
         if not candidates:
+            if why.enabled:
+                # No prune event fired during the walk → nothing of this
+                # type exists in the searched region (type mismatch);
+                # otherwise every instance was pruned (see prune buckets).
+                why.fail(
+                    "type" if why.mark() == pre else "no_candidates",
+                    type=request.type,
+                    under=parent.name if parent is not None else "",
+                )
             return False
         quantity_mode = not request.with_ and any(
             c.vertex.size != 1 for c in candidates
@@ -678,7 +715,16 @@ class Traverser:
             remaining -= take
             if remaining == 0:
                 return True
-        return request.max_count - remaining >= minimum
+        gathered = request.max_count - remaining
+        if gathered < minimum:
+            why = self.obs.why
+            if why.enabled:
+                why.fail(
+                    "quantity", type=request.type,
+                    needed=minimum, got=gathered,
+                )
+            return False
+        return True
 
     def _fill_count(
         self,
@@ -741,7 +787,15 @@ class Traverser:
                 continue
             used.add(vertex.uniq_id)
             selected += 1
-        return selected >= request.count
+        if selected < request.count:
+            why = self.obs.why
+            if why.enabled:
+                why.fail(
+                    "count", type=request.type,
+                    needed=request.count, got=selected,
+                )
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # candidate collection and feasibility
@@ -793,6 +847,12 @@ class Traverser:
         children_tuple = graph.children_tuple
         tentative_x = tentative.x
         tracked_cache: Dict[Tuple[str, ...], Dict[str, int]] = {}
+        # Decision provenance (null-twin pattern): one hoisted bool guards
+        # every probe, so a disabled recorder costs a local truth test on
+        # the prune paths only; the bound method is hoisted too (PRF002).
+        why = self.obs.why
+        why_on = why.enabled
+        why_prune = why.prune
         try:
             while stack:
                 vertex, via = stack.pop()
@@ -808,10 +868,15 @@ class Traverser:
                     # work already done).
                     budget.charge(1)
                 if vertex.status != "up":
-                    continue  # drained vertices close their whole subtree
+                    # drained vertices close their whole subtree
+                    if why_on:
+                        why_prune("down", vertex.type, vertex.name)
+                    continue
                 if vertex.type == rtype:
                     if predicate is None or predicate(vertex):
                         results.append(Candidate(vertex, via))
+                    elif why_on:
+                        why_prune("predicate", rtype, vertex.name)
                     continue
                 if at is not None:
                     # Exclusively-held vertices close their whole subtree
@@ -821,6 +886,8 @@ class Traverser:
                         - tentative_x.get(uid, 0)
                         < 1
                     ):
+                        if why_on:
+                            why_prune("exclusive", vertex.type, vertex.name)
                         continue
                     if prune and vertex.prune_filters is not None:
                         filters = vertex.prune_filters
@@ -830,6 +897,8 @@ class Traverser:
                         if tracked:
                             if not filters.avail_during(at, duration, tracked):
                                 filter_hits += 1
+                                if why_on:
+                                    why_prune("filter", vertex.type, vertex.name)
                                 continue
                             filter_misses += 1
                 children = children_tuple(vertex, subsystem)

@@ -11,6 +11,12 @@ The three legs (ISSUE 5 tentpole):
   durations into a callers/callees table and an ASCII flame summary,
   fronted by ``python -m repro.obs report``.
 
+A fourth leg (ISSUE 10): :mod:`repro.obs.why` — per-job scheduling
+decision provenance (admission verdicts, attempt outcomes, match-failure
+attribution), rendered by ``report.explain(job_id)`` and
+``python -m repro.obs why``; and Prometheus text exposition via
+``MetricsRegistry.render_prometheus()``.
+
 Everything is **off by default**: pass ``ClusterSimulator(observe=True)``
 (or an :class:`Observer`), or set ``FLUXOBS=1``.  Disabled instrumentation
 routes through null singletons, keeping the hot-path cost to an attribute
@@ -27,11 +33,22 @@ from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    MetricFamily,
     MetricsRegistry,
     NULL_REGISTRY,
     NullRegistry,
+    render_prometheus_families,
 )
 from .profile import Profile, aggregate
+from .why import (
+    FAIL_KINDS,
+    NULL_WHY,
+    PRUNE_REASONS,
+    DecisionRecorder,
+    NullDecisionRecorder,
+    render_cycle_summary,
+    render_explain,
+)
 from .runtime import (
     ACTIVE,
     NULL_OBSERVER,
@@ -61,7 +78,16 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricFamily",
     "DEFAULT_TIME_BUCKETS",
+    "render_prometheus_families",
+    "DecisionRecorder",
+    "NullDecisionRecorder",
+    "NULL_WHY",
+    "PRUNE_REASONS",
+    "FAIL_KINDS",
+    "render_explain",
+    "render_cycle_summary",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",

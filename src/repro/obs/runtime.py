@@ -30,6 +30,7 @@ from typing import Optional, Tuple
 from ..errors import FluxionError
 from .metrics import NULL_REGISTRY, NullRegistry, MetricsRegistry  # noqa: F401
 from .trace import NULL_TRACER, NullTracer, Tracer  # noqa: F401
+from .why import NULL_WHY, DecisionRecorder, NullDecisionRecorder  # noqa: F401
 
 __all__ = ["Observer", "ObserverStateError", "NULL_OBSERVER", "ACTIVE",
            "activate", "deactivate", "active", "env_enabled", "resolve"]
@@ -40,23 +41,37 @@ class ObserverStateError(FluxionError):
 
 
 class Observer:
-    """A metrics registry + tracer pair with one ``enabled`` switch."""
+    """Metrics registry + tracer + decision recorder, one ``enabled`` switch.
 
-    __slots__ = ("enabled", "metrics", "tracer")
+    ``why`` follows the same null-twin contract as the other two legs:
+    pass ``why=False`` to run an otherwise-enabled observer without
+    decision provenance (the overhead benchmark compares exactly this),
+    or a :class:`~repro.obs.why.DecisionRecorder` to share/configure one.
+    """
+
+    __slots__ = ("enabled", "metrics", "tracer", "why")
 
     def __init__(
         self,
         enabled: bool = True,
         metrics: "MetricsRegistry | NullRegistry | None" = None,
         tracer: "Tracer | NullTracer | None" = None,
+        why: "DecisionRecorder | NullDecisionRecorder | bool | None" = None,
     ) -> None:
         self.enabled = enabled
         if enabled:
             self.metrics = metrics if metrics is not None else MetricsRegistry()
             self.tracer = tracer if tracer is not None else Tracer()
+            if why is None or why is True:
+                self.why = DecisionRecorder()
+            elif why is False:
+                self.why = NULL_WHY
+            else:
+                self.why = why
         else:
             self.metrics = NULL_REGISTRY
             self.tracer = NULL_TRACER
+            self.why = NULL_WHY
 
 
 NULL_OBSERVER = Observer(enabled=False)

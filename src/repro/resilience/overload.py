@@ -568,10 +568,16 @@ class OverloadController:
         cfg = self.config
         assert sim is not None
         sim._crashpoint("admit.pre")
+        why = sim.obs.why
         if cfg.admission_policy == "reject":
             self._journal("admission", job_id=job.job_id, action="reject")
             self.counters["rejected"] += 1
             self._obs_count("overload.rejected")
+            if why.enabled:
+                why.event(
+                    job.job_id, float(sim.now), "admission-reject",
+                    name=job.name, policy="reject", depth=self._depth(),
+                )
             sim.cancel(job, reason=CancelReason.ADMISSION)
             sim._crashpoint("admit.post")
             return False
@@ -579,6 +585,11 @@ class OverloadController:
             self._journal("admission", job_id=job.job_id, action="defer")
             self.counters["deferred"] += 1
             self._obs_count("overload.deferred")
+            if why.enabled:
+                why.event(
+                    job.job_id, float(sim.now), "admission-defer",
+                    name=job.name, policy="defer", depth=self._depth(),
+                )
             self.deferred.add(job.job_id)
             sim.event_log.append((sim.now, "defer", job.job_id))
             sim._crashpoint("admit.post")
@@ -592,6 +603,11 @@ class OverloadController:
             )
             self.counters["shed"] += 1
             self._obs_count("overload.shed")
+            if why.enabled:
+                why.event(
+                    job.job_id, float(sim.now), "admission-shed",
+                    name=job.name, policy="shed", victim=job.job_id,
+                )
             sim.cancel(job, reason=CancelReason.SHED)
             sim._crashpoint("admit.post")
             return False
@@ -600,6 +616,15 @@ class OverloadController:
         )
         self.counters["shed"] += 1
         self._obs_count("overload.shed")
+        if why.enabled:
+            why.event(
+                job.job_id, float(sim.now), "admission-shed-victim",
+                name=job.name, policy="shed", victim=victim.job_id,
+            )
+            why.event(
+                victim.job_id, float(sim.now), "shed",
+                name=victim.name, policy="shed", displaced_by=job.job_id,
+            )
         sim.cancel(victim, reason=CancelReason.SHED)
         sim._crashpoint("admit.shed")
         self.counters["admitted"] += 1
@@ -686,6 +711,12 @@ class OverloadController:
         sim.event_log.append((sim.now, "promote", job.job_id))
         self.counters["promoted"] += 1
         self._obs_count("overload.promoted")
+        why = sim.obs.why
+        if why.enabled:
+            why.event(
+                job.job_id, float(sim.now), "admission-promote",
+                name=job.name,
+            )
 
     def _drop_stale_deferred(self) -> None:
         """Forget deferred entries whose jobs are no longer active (e.g.

@@ -44,7 +44,7 @@ class _SchedAttempt:
     histogram and opens a ``sched.attempt`` tracer span.
     """
 
-    __slots__ = ("_obs", "_job", "_now", "_verb", "_timer")
+    __slots__ = ("_obs", "_job", "_now", "_verb", "_timer", "_alloc0")
 
     def __init__(self, obs: Observer, job: Job, now: int, verb: str) -> None:
         self._obs = obs
@@ -52,6 +52,7 @@ class _SchedAttempt:
         self._now = now
         self._verb = verb
         self._timer = WallTimer()
+        self._alloc0 = 0
 
     def __enter__(self) -> "_SchedAttempt":
         if self._obs.enabled:
@@ -59,6 +60,13 @@ class _SchedAttempt:
                 "sched.attempt", "sched", vt=float(self._now),
                 job=self._job.job_id, verb=self._verb,
             )
+            why = self._obs.why
+            if why.enabled:
+                self._alloc0 = len(self._job.allocations)
+                why.begin_attempt(
+                    self._job.job_id, float(self._now), self._verb,
+                    name=self._job.name,
+                )
         self._timer.__enter__()
         return self
 
@@ -70,7 +78,24 @@ class _SchedAttempt:
                 "sched.attempt_seconds",
                 "wall time per full scheduling attempt",
             ).observe(self._timer.elapsed)
+            why = self._obs.why
+            if why.enabled:
+                why.end_attempt(*self._outcome(exc))
             self._obs.tracer.end()
+
+    def _outcome(self, exc: tuple) -> tuple:
+        """(outcome, degradation level) for the attempt that just closed."""
+        level = None
+        if self._verb.startswith("degraded_"):
+            level = self._verb[len("degraded_"):].upper()
+        if exc and exc[0] is not None:
+            return "deadline", level
+        if self._verb == "replan_cancel":
+            return "replan_cancel", level
+        if len(self._job.allocations) > self._alloc0:
+            alloc = self._job.allocations[-1]
+            return ("reserved" if alloc.reserved else "matched"), level
+        return "failed", level
 
 
 class QueuePolicy:

@@ -89,6 +89,9 @@ class SimulationReport:
     #: metrics snapshot (observer + traverser registries) when the run was
     #: observed (ClusterSimulator(observe=...) / FLUXOBS=1), else None
     metrics: "Optional[Dict[str, object]]" = None
+    #: fluxwhy decision-provenance export (schema "fluxwhy-v1") when the
+    #: run was observed with a DecisionRecorder, else None
+    provenance: "Optional[Dict[str, object]]" = None
     # -- overload protection (repro.resilience.overload) ----------------
     #: True when an OverloadController was attached for the run
     overload_enabled: bool = False
@@ -198,6 +201,20 @@ class SimulationReport:
             return 0.0
         return (self.busy_node_seconds - self.work_lost) / denom
 
+    def explain(self, job_id: int) -> str:
+        """Explain-tree for one job's scheduling decisions (fluxwhy).
+
+        Renders the recorded admission verdicts, attempt outcomes and
+        blocking constraints for ``job_id``; a header line carries the
+        job's final state.  Needs a run observed with a decision recorder
+        (``observe=True`` enables one) — otherwise reports that nothing
+        was recorded.
+        """
+        from ..obs.why import render_explain
+
+        job = next((j for j in self.jobs if j.job_id == job_id), None)
+        return render_explain(self.provenance or {}, job_id, job)
+
     def summary(self) -> str:
         text = (
             f"{len(self.completed)}/{len(self.jobs)} jobs completed, "
@@ -273,6 +290,14 @@ class SimulationReport:
                 f"; obs: {self.metrics.get('sim.cycles', 0)} cycles, "
                 f"{attempt_count} sched attempts, {visits} visits, "
                 f"{matched} matched, sdfu prune hits {hits}/{consults}"
+            )
+        if self.provenance:
+            totals = self.provenance.get("totals", {})
+            text += (
+                f"; why: {totals.get('attempts', 0)} attempts recorded "
+                f"({totals.get('failed', 0)} failed, "
+                f"{totals.get('events', 0)} admission events); "
+                f"see report.explain(job_id)"
             )
         return text
 
@@ -733,6 +758,9 @@ class ClusterSimulator:
                 "snapshot_sections_rebuilt", 0
             ),
             metrics=self.metrics_snapshot() if self.obs.enabled else None,
+            provenance=(
+                self.obs.why.export() if self.obs.why.enabled else None
+            ),
             **overload,
             **integrity,
         )
@@ -742,6 +770,20 @@ class ClusterSimulator:
         merged: Dict[str, object] = dict(self.obs.metrics.as_dict())
         merged.update(self.traverser.metrics.as_dict())
         return merged
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of every metric this simulator owns.
+
+        Spans the observer's registry and the traverser's always-on one in
+        a single document with globally sorted families — the scrape
+        payload for ROADMAP item 1's service front end.  Works unobserved
+        too (the traverser counters are always collected).
+        """
+        from ..obs.metrics import render_prometheus_families
+
+        return render_prometheus_families(
+            [self.obs.metrics, self.traverser.metrics]
+        )
 
     def export_trace(
         self, path: str, jsonl_path: Optional[str] = None
@@ -758,9 +800,10 @@ class ClusterSimulator:
                 "no trace recorded: construct the simulator with "
                 "observe=True (or set FLUXOBS=1)"
             )
-        self.obs.tracer.write_chrome(
-            path, {"metrics": self.metrics_snapshot()}
-        )
+        other: Dict[str, object] = {"metrics": self.metrics_snapshot()}
+        if self.obs.why.enabled:
+            other["provenance"] = self.obs.why.export()
+        self.obs.tracer.write_chrome(path, other)
         if jsonl_path is not None:
             self.obs.tracer.write_jsonl(jsonl_path)
 
@@ -825,12 +868,25 @@ class ClusterSimulator:
             # Canceled between scheduling and dispatch — e.g. shed as an
             # admission victim by a same-tick sibling submission.
             return
-        if not self.traverser.satisfiable(job.jobspec):
+        why = self.obs.why
+        if why.enabled:
+            why.begin_attempt(
+                job.job_id, float(self.now), "satisfiable", name=job.name
+            )
+            satisfiable = self.traverser.satisfiable(job.jobspec)
+            why.end_attempt("ok" if satisfiable else "unsat")
+        else:
+            satisfiable = self.traverser.satisfiable(job.jobspec)
+        if not satisfiable:
             # Failure retries are spared the insta-cancel while the shortfall
             # is only down (not missing) hardware: they wait for the repair.
             if not (job.attempt and self._structurally_satisfiable(job.jobspec)):
                 job.cancel_reason = CancelReason.UNSATISFIABLE
                 job.transition(JobState.CANCELED)
+                why.event(
+                    job.job_id, float(self.now), "unsatisfiable",
+                    name=job.name,
+                )
                 return
         if self.overload is not None and not self.overload.admit(job):
             return  # rejected, shed or deferred: no cycle to run
@@ -995,6 +1051,7 @@ class ClusterSimulator:
         # and deactivate with the token so misnesting fails loudly.
         obs_token = _obs_runtime.activate(obs)
         obs.metrics.counter("sim.cycles", "scheduling cycles run").inc()
+        obs.why.begin_cycle(float(self.now))
         obs.tracer.begin(
             "sim.cycle", "sim", vt=float(self.now), policy=self.queue_policy.name
         )

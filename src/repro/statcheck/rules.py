@@ -18,6 +18,8 @@ INT001    repair-engine mutations of scheduler state go through a
 API001    public functions in core modules carry full type hints
 OBS001    instrumentation goes through ``repro.obs``: no raw timer
           reads or hand-rolled stats-dict counters elsewhere
+OBS002    prune/outcome bookkeeping goes through the decision
+          recorder (``obs.why``), not ad-hoc accumulators
 OVL001    overload-control signals (``AdmissionRejected``,
           ``SchedulingDeadlineExceeded``) are only absorbed by the
           overload machinery itself; everywhere else must re-raise
@@ -27,6 +29,7 @@ OVL001    overload-control signals (``AdmissionRejected``,
 from __future__ import annotations
 
 import ast
+import re
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .core import LintRule, register_rule
@@ -40,6 +43,7 @@ __all__ = [
     "JournaledRepairRule",
     "TypeHintRule",
     "ObservabilityFunnelRule",
+    "DecisionProvenanceRule",
     "OverloadSignalSwallowRule",
 ]
 
@@ -655,6 +659,75 @@ class ObservabilityFunnelRule(LintRule):
             tracker = _ImportTracker(self.module.tree)
             self._tracker_cache = tracker
         return tracker
+
+
+@register_rule
+class DecisionProvenanceRule(LintRule):
+    """OBS002: prune/outcome bookkeeping belongs to the decision recorder.
+
+    The fluxwhy recorder (:mod:`repro.obs.why`) is the single store for
+    match-failure attribution: per-vertex prune tallies, failure reasons,
+    and attempt outcomes.  A shadow accumulator like
+    ``prune_counts[reason] += 1`` or ``fail_reasons.append(...)`` outside
+    ``repro/obs/`` never reaches ``report.explain()`` or
+    ``python -m repro.obs why``, and its reason strings drift from the
+    audited :data:`repro.obs.why.PRUNE_REASONS` taxonomy — so any mutation
+    of a provenance-named accumulator is flagged.  Only compound names
+    (a prune/outcome/fail/verdict noun plus a counter-ish suffix) match;
+    domain state such as ``prune_types`` membership sets or the circuit
+    breaker's ``_outcomes`` window is left alone.
+    """
+
+    rule_id = "OBS002"
+    summary = "ad-hoc prune/outcome bookkeeping outside repro.obs"
+
+    #: ``prune_counts``, ``outcome_tally``, ``fail_reasons``, ``verdict_log``…
+    _BOOKKEEPING = re.compile(
+        r"(?:^|_)(?:prune|outcome|verdict|fail(?:ure)?)s?_"
+        r"(?:count|reason|stat|tally|log|hist|bucket)s?$"
+    )
+    #: mutators that grow an accumulator in place
+    _MUTATORS = {"append", "add", "setdefault", "update", "extend"}
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        # the recorder itself is the one place allowed to keep these
+        return "repro/" in path and "repro/obs/" not in path
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        if isinstance(target, ast.Subscript) and self._is_bookkeeping(
+            target.value
+        ):
+            self._flag(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._MUTATORS
+            and self._is_bookkeeping(func.value)
+        ):
+            self._flag(node)
+        self.generic_visit(node)
+
+    def _is_bookkeeping(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        else:
+            return False
+        return self._BOOKKEEPING.search(name.lower()) is not None
+
+    def _flag(self, node: ast.AST) -> None:
+        self.report(
+            node,
+            "prune/outcome bookkeeping outside repro.obs; record it via "
+            "the decision recorder (obs.why.prune()/fail()/end_attempt()) "
+            "so it reaches report.explain() and `python -m repro.obs why`",
+        )
 
 
 @register_rule

@@ -39,7 +39,7 @@ class TestEngine:
     def test_all_rules_registered(self):
         assert set(all_rules()) == {
             "DET001", "EXC001", "FLT001", "MUT001", "JRN001", "INT001",
-            "API001", "OBS001", "OVL001",
+            "API001", "OBS001", "OBS002", "OVL001",
         }
 
     def test_unknown_rule_id_rejected(self):
@@ -485,6 +485,57 @@ class TestOBS001:
         )
         assert rules_hit(src, "src/repro/sched/thing.py",
                          select=["OBS001"]) == []
+
+
+# ----------------------------------------------------------------------
+# OBS002 — prune/outcome bookkeeping goes through obs.why
+# ----------------------------------------------------------------------
+class TestOBS002:
+    def test_prune_counter_dict_flagged(self):
+        src = (
+            "def visit(self, reason):\n"
+            "    self.prune_counts[reason] += 1\n"
+            "    prune_counts[reason] += 1\n"
+        )
+        vs = lint_source(src, "src/repro/match/thing.py", select=["OBS002"])
+        assert [v.line for v in vs] == [2, 3]
+        assert "obs.why" in vs[0].message
+
+    def test_outcome_and_fail_accumulators_flagged(self):
+        src = (
+            "def f(self, verb, kind):\n"
+            "    self.outcome_tally[verb] += 1\n"
+            "    self.fail_reasons.append(kind)\n"
+            "    verdict_log.extend([kind])\n"
+        )
+        vs = lint_source(src, "src/repro/sched/thing.py", select=["OBS002"])
+        assert [v.line for v in vs] == [2, 3, 4]
+
+    def test_domain_state_not_flagged(self):
+        src = (
+            "def f(self, graph, ok):\n"
+            "    prune_types = set(graph.prune_types)\n"
+            "    prune_types.add('core')\n"
+            "    self._outcomes.append(ok)\n"
+            "    self.failures[1] += 1\n"
+        )
+        assert rules_hit(src, "src/repro/resilience/thing.py",
+                         select=["OBS002"]) == []
+
+    def test_obs_package_exempt(self):
+        src = "def f(self, r):\n    self.prune_counts[r] += 1\n"
+        assert rules_hit(src, "src/repro/obs/why.py",
+                         select=["OBS002"]) == []
+        assert rules_hit(src, "lib/other.py", select=["OBS002"]) == []
+
+    def test_suppression_directive(self):
+        src = (
+            "def f(self, r):\n"
+            "    # fluxlint: disable-next-line=OBS002\n"
+            "    self.prune_counts[r] += 1\n"
+        )
+        assert rules_hit(src, "src/repro/match/thing.py",
+                         select=["OBS002"]) == []
 
 
 class TestOVL001:

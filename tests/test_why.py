@@ -1,0 +1,500 @@
+"""Tests for repro.obs.why: the per-job decision-provenance recorder, the
+six acceptance explain scenarios from ISSUE 10 on the 64-node cluster,
+dual-run determinism, histogram quantile edge cases, the Prometheus text
+exposition (golden file + round-trip), and the ``obs why`` / ``obs
+promcheck`` / empty-trace ``obs report`` CLI paths."""
+
+import json
+import os
+import re
+
+import pytest
+
+from repro.grug import tiny_cluster
+from repro.jobspec import (
+    Jobspec,
+    ResourceRequest,
+    nodes_jobspec,
+    simple_node_jobspec,
+)
+from repro.jobspec.build import slot
+from repro.obs import (
+    NULL_WHY,
+    DecisionRecorder,
+    MetricsRegistry,
+    NullDecisionRecorder,
+    Observer,
+    render_cycle_summary,
+    render_explain,
+    render_prometheus_families,
+)
+from repro.obs.__main__ import main, validate_prometheus
+from repro.resilience import OverloadConfig
+from repro.sched import ClusterSimulator
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def cluster64(**kw):
+    """The ISSUE 10 acceptance cluster: 8 racks x 8 nodes = 64 nodes."""
+    return tiny_cluster(racks=8, nodes_per_rack=8, **kw)
+
+
+# ----------------------------------------------------------------------
+# recorder unit behaviour
+# ----------------------------------------------------------------------
+class TestDecisionRecorder:
+    def test_attempt_lifecycle_and_export_schema(self):
+        why = DecisionRecorder()
+        why.begin_cycle(0.0)
+        why.begin_attempt(1, 0.0, "allocate", name="job1")
+        why.prune("filter", "node", "node3")
+        why.fail("count", type="node", needed=5, got=3)
+        why.end_attempt("failed")
+        doc = why.export()
+        assert doc["schema"] == "fluxwhy-v1"
+        assert sorted(doc) == [
+            "cycles", "cycles_dropped", "jobs", "schema", "top_k", "totals",
+        ]
+        (attempt,) = doc["jobs"]["1"]["attempts"]
+        assert attempt["verb"] == "allocate"
+        assert attempt["outcome"] == "failed"
+        assert attempt["prune"] == {"filter|node": 1}
+        assert attempt["examples"] == {"filter|node": ["node3"]}
+        assert attempt["fails"][0]["kind"] == "count"
+
+    def test_export_is_non_destructive(self):
+        why = DecisionRecorder()
+        why.begin_attempt(1, 0.0, "allocate")
+        why.end_attempt("matched")
+        assert why.export() == why.export()
+
+    def test_prune_outside_attempt_is_noop(self):
+        why = DecisionRecorder()
+        why.prune("down", "node", "node0")
+        why.fail("count", needed=1, got=0)
+        assert why.export()["jobs"] == {}
+
+    def test_example_vertices_capped_at_top_k(self):
+        why = DecisionRecorder(top_k=2)
+        why.begin_attempt(1, 0.0, "allocate")
+        for i in range(5):
+            why.prune("filter", "node", f"node{i}")
+        why.end_attempt("failed")
+        (attempt,) = why.export()["jobs"]["1"]["attempts"]
+        assert attempt["prune"] == {"filter|node": 5}
+        assert attempt["examples"]["filter|node"] == ["node0", "node1"]
+
+    def test_attempts_per_job_capped(self):
+        why = DecisionRecorder(max_attempts_per_job=3)
+        for i in range(6):
+            why.begin_attempt(1, float(i), "allocate")
+            why.end_attempt("failed")
+        entry = why.export()["jobs"]["1"]
+        assert len(entry["attempts"]) == 3
+        assert entry["dropped"] == 3
+
+    def test_fails_capped(self):
+        why = DecisionRecorder(max_fails=2)
+        why.begin_attempt(1, 0.0, "allocate")
+        for i in range(5):
+            why.fail("count", needed=i, got=0)
+        why.end_attempt("failed")
+        (attempt,) = why.export()["jobs"]["1"]["attempts"]
+        assert len(attempt["fails"]) == 2
+        assert attempt["fails_dropped"] == 3
+
+    def test_mark_counts_prunes_and_fails(self):
+        why = DecisionRecorder()
+        why.begin_attempt(1, 0.0, "allocate")
+        assert why.mark() == 0
+        why.prune("down", "node", "node0")
+        why.fail("count", needed=1, got=0)
+        assert why.mark() == 2
+
+    def test_null_recorder_is_inert(self):
+        assert NULL_WHY.enabled is False
+        NULL_WHY.begin_cycle(0.0)
+        NULL_WHY.begin_attempt(1, 0.0, "allocate")
+        NULL_WHY.prune("down", "node", "n")
+        NULL_WHY.fail("count")
+        NULL_WHY.end_attempt("failed")
+        NULL_WHY.event(1, 0.0, "shed")
+        assert NULL_WHY.mark() == 0
+        assert NULL_WHY.export() == {}
+
+    def test_observer_why_wiring(self):
+        assert Observer().why.enabled is True
+        assert Observer(why=False).why is NULL_WHY
+        custom = DecisionRecorder(top_k=7)
+        assert Observer(why=custom).why is custom
+        assert isinstance(Observer(enabled=False).why, NullDecisionRecorder)
+
+
+# ----------------------------------------------------------------------
+# the six acceptance scenarios (ISSUE 10) on the 64-node cluster
+# ----------------------------------------------------------------------
+class TestExplainScenarios:
+    def test_count_shortfall(self):
+        sim = ClusterSimulator(cluster64(), queue="fcfs", observe=True)
+        job = sim.submit(nodes_jobspec(65, duration=100), at=0)
+        report = sim.run()
+        text = report.explain(job.job_id)
+        assert "count shortfall: got=64, needed=65, type=node" in text
+        assert "canceled (unsatisfiable)" in text
+
+    def test_type_mismatch(self):
+        sim = ClusterSimulator(cluster64(), queue="fcfs", observe=True)
+        spec = Jobspec(
+            resources=(slot(1, ResourceRequest(type="fpga", count=1)),),
+            duration=100,
+        )
+        job = sim.submit(spec, at=0)
+        report = sim.run()
+        assert "type mismatch: type=fpga" in report.explain(job.job_id)
+
+    def test_aggregate_filter_miss(self):
+        sim = ClusterSimulator(cluster64(), queue="fcfs", observe=True)
+        sim.submit(nodes_jobspec(64, duration=1000), at=0)
+        job = sim.submit(simple_node_jobspec(cores=2, duration=50), at=10)
+        report = sim.run()
+        text = report.explain(job.job_id)
+        assert "all candidates pruned: type=node" in text
+        assert "aggregate-filter miss: cluster x1 subtree(s) pruned" in text
+        assert "(e.g. cluster0)" in text
+        assert "allocate -> matched" in text  # eventually runs
+
+    def test_planner_time_conflict(self):
+        sim = ClusterSimulator(
+            cluster64(plan_end=1000), queue="easy", observe=True
+        )
+        sim.submit(nodes_jobspec(64, duration=900), at=0)
+        job = sim.submit(nodes_jobspec(64, duration=500), at=5)
+        report = sim.run()
+        text = report.explain(job.job_id)
+        assert "planner time conflict: after=5, types=node" in text
+        assert "planner horizon exceeded: horizon=500, now=900" in text
+
+    def test_admission_rejection(self):
+        sim = ClusterSimulator(
+            cluster64(),
+            queue="fcfs",
+            observe=True,
+            overload=OverloadConfig(max_pending=1, admission_policy="reject"),
+        )
+        jobs = [
+            sim.submit(nodes_jobspec(64, duration=1000), at=i)
+            for i in range(4)
+        ]
+        report = sim.run()
+        text = report.explain(jobs[-1].job_id)
+        assert "admission-reject" in text and "policy=reject" in text
+        assert "canceled (admission-reject)" in text
+
+    def test_degraded_mode_match(self):
+        # cycle_budget=75 is the 64-node sweet spot: FULL-detail cycles
+        # blow the budget (the DFS walks all 73 vertices) while the
+        # coarse whole-node rewrite fits, so the ladder descends and the
+        # degraded attempt lands.
+        sim = ClusterSimulator(
+            cluster64(),
+            match_policy="first",
+            queue="easy",
+            observe=True,
+            overload=OverloadConfig(
+                cycle_budget=75,
+                checkpoint_interval=2,
+                degrade_after=1,
+                recover_after=50,
+            ),
+        )
+        for i in range(10):
+            sim.submit(simple_node_jobspec(cores=2, duration=120), at=i * 3)
+        report = sim.run()
+        assert report.degraded, "expected at least one degraded match"
+        text = report.explain(report.degraded[0].job_id)
+        assert "degraded_coarse -> matched level=COARSE" in text
+        assert "[degraded=COARSE]" in text
+
+    def test_summary_mentions_provenance(self):
+        sim = ClusterSimulator(cluster64(), queue="fcfs", observe=True)
+        sim.submit(nodes_jobspec(2, duration=50), at=0)
+        report = sim.run()
+        assert re.search(r"why: \d+ attempts recorded", report.summary())
+        assert "report.explain(job_id)" in report.summary()
+
+    def test_unobserved_report_has_no_provenance(self):
+        sim = ClusterSimulator(cluster64(), queue="fcfs")
+        sim.submit(nodes_jobspec(2, duration=50), at=0)
+        report = sim.run()
+        assert report.provenance is None
+        assert "no decisions recorded" in report.explain(1)
+
+    def test_explain_unknown_job(self):
+        sim = ClusterSimulator(cluster64(), queue="fcfs", observe=True)
+        sim.submit(nodes_jobspec(2, duration=50), at=0)
+        report = sim.run()
+        assert "no decisions recorded" in report.explain(999)
+
+    def test_cycle_summary_renders(self):
+        sim = ClusterSimulator(cluster64(), queue="fcfs", observe=True)
+        sim.submit(nodes_jobspec(64, duration=1000), at=0)
+        sim.submit(simple_node_jobspec(cores=2, duration=50), at=10)
+        report = sim.run()
+        table = render_cycle_summary(report.provenance)
+        assert "cycle" in table and "matched" in table
+
+
+# ----------------------------------------------------------------------
+# determinism: dual runs must be byte-identical (FluxSan requirement)
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def run_once(self):
+        sim = ClusterSimulator(
+            cluster64(plan_end=5000), queue="conservative", observe=True
+        )
+        for i in range(12):
+            sim.submit(
+                nodes_jobspec(1 + i % 5, duration=60 + 13 * (i % 7)),
+                at=4 * i,
+            )
+        report = sim.run()
+        explains = "\n".join(
+            report.explain(job.job_id) for job in report.jobs
+        )
+        return (
+            json.dumps(report.provenance, sort_keys=True) + "\n" + explains
+        )
+
+    def test_dual_runs_byte_identical(self):
+        assert self.run_once() == self.run_once()
+
+
+# ----------------------------------------------------------------------
+# satellite: histogram quantile edge cases
+# ----------------------------------------------------------------------
+class TestQuantileEdges:
+    def histogram(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", boundaries=(1.0, 10.0, 100.0))
+        return h
+
+    def test_empty_histogram_quantile_is_zero(self):
+        h = self.histogram()
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == 0.0
+
+    def test_q0_is_first_nonempty_bucket_bound(self):
+        h = self.histogram()
+        h.observe(50.0)  # lands in le_100
+        assert h.quantile(0.0) == 100.0
+
+    def test_q1_clamps_to_last_finite_boundary(self):
+        h = self.histogram()
+        h.observe(0.5)
+        h.observe(500.0)  # +Inf tail
+        assert h.quantile(1.0) == 100.0
+
+    def test_q1_without_inf_tail(self):
+        h = self.histogram()
+        h.observe(0.5)
+        h.observe(5.0)
+        assert h.quantile(1.0) == 10.0
+
+    def test_negative_observations_land_in_first_bucket(self):
+        h = self.histogram()
+        h.observe(-3.0)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 1.0
+
+    def test_out_of_range_q_rejected(self):
+        h = self.histogram()
+        h.observe(1.0)
+        for q in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                h.quantile(q)
+
+    def test_results_never_nan(self):
+        import math
+
+        h = self.histogram()
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert not math.isnan(h.quantile(q))
+        h.observe(-1.0)
+        h.observe(1e12)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert not math.isnan(h.quantile(q))
+
+
+# ----------------------------------------------------------------------
+# satellite: Prometheus text exposition
+# ----------------------------------------------------------------------
+def build_reference_registry():
+    """The fixed registry behind tests/golden/metrics.prom."""
+    reg = MetricsRegistry()
+    reg.counter("dfu.visits", "vertices visited").inc(42)
+    reg.gauge("queue.depth", "pending jobs").set(7)
+    h = reg.histogram(
+        "sched.cycle_s", "cycle latency", boundaries=(0.001, 0.01, 0.1)
+    )
+    for v in (0.0005, 0.005, 0.05, 0.5):
+        h.observe(v)
+    fam = reg.counter("why.prune", "prunes by reason", labels=["reason"])
+    fam.labels(reason="down").inc(3)
+    fam.labels(reason='quo"te\nline\\slash').inc(1)
+    return reg
+
+
+class TestPrometheus:
+    def test_matches_golden_file(self):
+        rendered = build_reference_registry().render_prometheus()
+        golden = os.path.join(GOLDEN, "metrics.prom")
+        with open(golden, "r", encoding="utf-8") as fh:
+            assert rendered == fh.read()
+
+    def test_rendering_is_stable(self):
+        a = build_reference_registry().render_prometheus()
+        b = build_reference_registry().render_prometheus()
+        assert a == b
+
+    def test_validates_and_round_trips_snapshot(self):
+        reg = build_reference_registry()
+        text = reg.render_prometheus()
+        assert validate_prometheus(text) == []
+        # every leaf instrument in as_dict() appears in the exposition,
+        # with matching values
+        samples = {}
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name, value = line.rsplit(" ", 1)
+            samples[name] = float(value)
+        snapshot = reg.as_dict()
+        assert samples["dfu_visits"] == snapshot["dfu.visits"]
+        assert samples["queue_depth"] == snapshot["queue.depth"]
+        hist = snapshot["sched.cycle_s"]
+        assert samples["sched_cycle_s_count"] == hist["count"]
+        assert samples["sched_cycle_s_sum"] == pytest.approx(hist["sum"])
+        assert samples['sched_cycle_s_bucket{le="+Inf"}'] == hist["count"]
+
+    def test_label_escaping(self):
+        text = build_reference_registry().render_prometheus()
+        assert '{reason="quo\\"te\\nline\\\\slash"}' in text
+        assert validate_prometheus(text) == []
+
+    def test_histogram_buckets_cumulative(self):
+        text = build_reference_registry().render_prometheus()
+        values = [
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("sched_cycle_s_bucket")
+        ]
+        assert values == sorted(values)
+        assert values[-1] == 4.0  # +Inf == count
+
+    def test_families_merge_and_sort(self):
+        a = MetricsRegistry()
+        a.counter("zzz.last").inc()
+        b = MetricsRegistry()
+        b.counter("aaa.first").inc()
+        text = render_prometheus_families([a, b])
+        assert text.index("aaa_first") < text.index("zzz_last")
+        assert validate_prometheus(text) == []
+
+    def test_simulator_render_prometheus(self):
+        sim = ClusterSimulator(cluster64(), queue="fcfs", observe=True)
+        sim.submit(nodes_jobspec(2, duration=50), at=0)
+        sim.run()
+        text = sim.render_prometheus()
+        assert validate_prometheus(text) == []
+        assert "dfu_visits" in text
+
+    def test_unobserved_simulator_still_renders(self):
+        sim = ClusterSimulator(cluster64(), queue="fcfs")
+        sim.submit(nodes_jobspec(2, duration=50), at=0)
+        sim.run()
+        text = sim.render_prometheus()
+        assert validate_prometheus(text) == []
+        assert "dfu_visits" in text  # traverser registry is always-on
+
+    def test_validator_flags_problems(self):
+        assert validate_prometheus("dangling_sample 1\n") != []
+        assert validate_prometheus("# TYPE x frobnicator\nx 1\n") != []
+        noncumulative = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1.0\n"
+            "h_count 3\n"
+        )
+        assert validate_prometheus(noncumulative) != []
+
+
+# ----------------------------------------------------------------------
+# CLI: obs why / obs promcheck / empty-trace report
+# ----------------------------------------------------------------------
+class TestCli:
+    def export(self, tmp_path):
+        sim = ClusterSimulator(cluster64(), queue="fcfs", observe=True)
+        sim.submit(nodes_jobspec(65, duration=100), at=0)
+        sim.submit(nodes_jobspec(2, duration=50), at=1)
+        sim.run()
+        path = tmp_path / "trace.json"
+        sim.export_trace(str(path))
+        return path
+
+    def test_why_renders_all_jobs(self, tmp_path, capsys):
+        path = self.export(tmp_path)
+        assert main(["why", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "count shortfall" in out
+        assert "per-cycle summary" in out
+
+    def test_why_single_job(self, tmp_path, capsys):
+        path = self.export(tmp_path)
+        assert main(["why", str(path), "--job", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "job 1" in out and "job 2" not in out
+
+    def test_why_without_provenance_fails(self, tmp_path, capsys):
+        bad = tmp_path / "plain.json"
+        bad.write_text(json.dumps({"traceEvents": []}))
+        assert main(["why", str(bad)]) == 1
+        assert "provenance" in capsys.readouterr().err
+
+    def test_why_on_raw_provenance_json(self, tmp_path, capsys):
+        sim = ClusterSimulator(cluster64(), queue="fcfs", observe=True)
+        sim.submit(nodes_jobspec(65, duration=100), at=0)
+        report = sim.run()
+        raw = tmp_path / "why.json"
+        raw.write_text(json.dumps(report.provenance))
+        assert main(["why", str(raw)]) == 0
+        assert "count shortfall" in capsys.readouterr().out
+
+    def test_promcheck_accepts_valid(self, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        prom.write_text(build_reference_registry().render_prometheus())
+        assert main(["promcheck", str(prom)]) == 0
+        assert "valid Prometheus exposition" in capsys.readouterr().out
+
+    def test_promcheck_rejects_invalid(self, tmp_path, capsys):
+        prom = tmp_path / "bad.prom"
+        prom.write_text("# TYPE x frobnicator\nx 1\n")
+        assert main(["promcheck", str(prom)]) == 1
+        assert capsys.readouterr().err
+
+    def test_report_empty_trace_exits_zero(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"traceEvents": []}))
+        assert main(["report", str(empty)]) == 0
+        out = capsys.readouterr().out
+        assert "empty trace" in out
+
+    def test_render_explain_standalone(self):
+        sim = ClusterSimulator(cluster64(), queue="fcfs", observe=True)
+        job = sim.submit(nodes_jobspec(65, duration=100), at=0)
+        report = sim.run()
+        # render_explain works from the exported provenance alone (no
+        # live Job): state header degrades gracefully
+        text = render_explain(report.provenance, job.job_id)
+        assert "count shortfall" in text
